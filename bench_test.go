@@ -1,0 +1,178 @@
+package visclean
+
+// One benchmark per table and figure of the paper's evaluation (§VII).
+// Each drives the same harness code as cmd/experiments, at a reduced
+// generator scale so `go test -bench=.` finishes in minutes; run
+// `cmd/experiments -scale 0.05 all` (or larger) for the numbers recorded
+// in EXPERIMENTS.md. Benchmarks report ns/op for one full experiment
+// unit plus custom metrics where a figure is about a quantity other than
+// time (final EMD, user seconds).
+
+import (
+	"testing"
+
+	"visclean/internal/experiments"
+	"visclean/internal/pipeline"
+)
+
+// benchScale keeps a full -bench=. run tractable.
+const benchScale = 0.01
+
+func benchEnv() *experiments.Env { return experiments.NewEnv(benchScale, 1) }
+
+// BenchmarkTableIV_Datasets regenerates the three datasets and verifies
+// their Table IV statistics.
+func BenchmarkTableIV_Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := experiments.NewEnv(benchScale, int64(i+1))
+		_ = experiments.TableIV(env)
+	}
+}
+
+// BenchmarkTableV_Queries parses and executes all 18 workload queries on
+// dirty and clean data.
+func BenchmarkTableV_Queries(b *testing.B) {
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableV(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchProgress drives one Exp-1 progression (Figs 10–12).
+func benchProgress(b *testing.B, task string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		env := benchEnv()
+		_, curve, err := experiments.Exp1Progress(env, task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(curve.InitialDist, "dist0")
+		b.ReportMetric(curve.FinalDist(), "distN")
+	}
+}
+
+// BenchmarkFig10_ProgressQ1 is the paper's running example: Q1 cleaned
+// by GSS with chart snapshots at 0/5/10/15 questions.
+func BenchmarkFig10_ProgressQ1(b *testing.B) { benchProgress(b, "Q1") }
+
+// BenchmarkFig11_ProgressQ7 cleans the predicate-heavy Q7.
+func BenchmarkFig11_ProgressQ7(b *testing.B) { benchProgress(b, "Q7") }
+
+// BenchmarkFig12_ProgressQ8 cleans the pie chart Q8.
+func BenchmarkFig12_ProgressQ8(b *testing.B) { benchProgress(b, "Q8") }
+
+// BenchmarkFig13_EMDCurves runs the per-dataset EMD-vs-iteration curves.
+func BenchmarkFig13_EMDCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv()
+		if _, _, err := experiments.Exp1Curves(env, []string{"Q1", "Q10", "Q15"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14_SelectorEffectiveness compares GSS, GSS+, B&B, 5-B&B,
+// Single and Random end to end on one task.
+func BenchmarkFig14_SelectorEffectiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv()
+		_, out, err := experiments.Exp2Effectiveness(env, []string{"Q1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range out["Q1"] {
+			if c.Selector == pipeline.SelectGSS.String() {
+				b.ReportMetric(c.FinalDist(), "gss_distN")
+			}
+		}
+	}
+}
+
+// BenchmarkFig15_16_UserTime measures the composite-vs-single user-time
+// comparison; the saving fraction is reported as a custom metric.
+func BenchmarkFig15_16_UserTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv()
+		_, out, err := experiments.Exp2UserTime(env, []string{"Q1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pair := out["Q1"]
+		comp, single := pair[0], pair[1]
+		if n, m := len(comp.UserSeconds), len(single.UserSeconds); n > 0 && m > 0 {
+			cs := comp.UserSeconds[n-1]
+			ss := single.UserSeconds[m-1]
+			if ss > 0 {
+				b.ReportMetric((1-cs/ss)*100, "saving_%")
+			}
+		}
+	}
+}
+
+// BenchmarkTableVI_NoisyInput runs the wrong-label / completeness grid
+// for one task with one repeat.
+func BenchmarkTableVI_NoisyInput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv()
+		if _, _, err := experiments.Exp3NoisyInput(env, []string{"Q2"}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig17a_SelectionVaryK times CQG selection on a synthetic ERG
+// with 20,000 edges, varying k (all five algorithms).
+func BenchmarkFig17a_SelectionVaryK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, pts := experiments.Exp4VaryK(20000, []int{5, 10, 15, 20, 25, 30}, 200000, 1)
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig17b_SelectionVaryEdges times CQG selection at k=5 on ERGs
+// from 5,000 to 40,000 edges.
+func BenchmarkFig17b_SelectionVaryEdges(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, pts := experiments.Exp4VaryEdges(5, []int{5000, 10000, 20000, 30000, 40000}, 200000, 1)
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig18_ComponentTime measures the per-component machine time
+// of a full cleaning run.
+func BenchmarkFig18_ComponentTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv()
+		_, out, err := experiments.Exp4ComponentTime(env, []string{"Q1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tm, ok := out["Q1"]; ok {
+			b.ReportMetric(float64(tm.Train.Microseconds()), "train_µs")
+			b.ReportMetric(float64(tm.Benefit.Microseconds()), "benefit_µs")
+		}
+	}
+}
+
+// BenchmarkAblation_DesignChoices measures what the documented design
+// choices (transformation-rule generalization, merge hysteresis)
+// contribute: final EMD per variant is reported as a custom metric.
+func BenchmarkAblation_DesignChoices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv()
+		_, out, err := experiments.Ablation(env, "Q1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(out["full"].FinalDist(), "full_distN")
+		b.ReportMetric(out["-generalize"].FinalDist(), "noGen_distN")
+	}
+}

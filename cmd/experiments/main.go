@@ -1,0 +1,131 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§VII). Each subcommand prints the measured rows/series;
+// EXPERIMENTS.md records these next to the paper's numbers.
+//
+// Usage:
+//
+//	experiments [-scale 0.05] [-seed 1] <what>
+//
+// where <what> is one of:
+//
+//	tables    Table IV (dataset stats) and Table V (workload)
+//	fig10     Exp-1 progression for Q1 (chart snapshots + EMD)
+//	fig11     Exp-1 progression for Q7
+//	fig12     Exp-1 progression for Q8
+//	fig13     Exp-1 EMD curves for representative tasks
+//	fig14     Exp-2 selector effectiveness
+//	fig15     Exp-2/Figs 15-16 user time (composite vs single)
+//	table6    Exp-3 noisy/incomplete input
+//	fig17     Exp-4 CQG selection efficiency
+//	fig18     Exp-4 per-component machine time
+//	all       everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"visclean/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "dataset scale factor (1.0 = paper size)")
+	seed := flag.Int64("seed", 1, "seed")
+	repeats := flag.Int("repeats", 3, "repeats for Table VI averages")
+	edges17a := flag.Int("fig17-edges", 20000, "ERG edges for Fig 17(a)")
+	flag.Parse()
+
+	what := flag.Arg(0)
+	if what == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	env := experiments.NewEnv(*scale, *seed)
+	if err := dispatch(env, what, *repeats, *edges17a); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// Representative tasks per dataset, used where the paper plots one panel
+// per dataset.
+var representative = []string{"Q1", "Q10", "Q15"}
+
+func dispatch(env *experiments.Env, what string, repeats, edges17a int) error {
+	all := what == "all"
+	ran := false
+
+	if all || what == "tables" {
+		ran = true
+		fmt.Println(experiments.TableIV(env))
+		tv, err := experiments.TableV(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tv)
+	}
+	for _, fig := range []struct {
+		name, task string
+	}{{"fig10", "Q1"}, {"fig11", "Q7"}, {"fig12", "Q8"}} {
+		if all || what == fig.name {
+			ran = true
+			report, _, err := experiments.Exp1Progress(env, fig.task)
+			if err != nil {
+				return err
+			}
+			fmt.Println(report)
+		}
+	}
+	if all || what == "fig13" {
+		ran = true
+		report, _, err := experiments.Exp1Curves(env, []string{"Q1", "Q2", "Q10", "Q13", "Q15", "Q18"})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	if all || what == "fig14" {
+		ran = true
+		report, _, err := experiments.Exp2Effectiveness(env, representative)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	if all || what == "fig15" || what == "fig16" {
+		ran = true
+		report, _, err := experiments.Exp2UserTime(env, representative)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	if all || what == "table6" {
+		ran = true
+		report, _, err := experiments.Exp3NoisyInput(env, []string{"Q1", "Q2", "Q3"}, repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	if all || what == "fig17" {
+		ran = true
+		reportA, _ := experiments.Exp4VaryK(edges17a, []int{5, 10, 15, 20, 25, 30}, 500000, env.Seed)
+		fmt.Println(reportA)
+		reportB, _ := experiments.Exp4VaryEdges(5, []int{5000, 10000, 20000, 30000, 40000}, 500000, env.Seed)
+		fmt.Println(reportB)
+	}
+	if all || what == "fig18" {
+		ran = true
+		report, _, err := experiments.Exp4ComponentTime(env, representative)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+	return nil
+}

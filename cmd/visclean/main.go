@@ -1,0 +1,274 @@
+// Command visclean runs an interactive cleaning session: it loads a
+// dirty CSV (or generates one of the paper's synthetic datasets), runs a
+// VQL visualization query, and iteratively asks composite cleaning
+// questions, refreshing the chart after each iteration.
+//
+// With -interactive the questions are put to you on the terminal (the
+// §VI GUI, text edition); otherwise a simulated user answers from the
+// generator's ground truth (only available with -dataset).
+//
+// Usage:
+//
+//	visclean -dataset D1 -scale 0.02 -budget 15 -k 10
+//	visclean -dataset D1 -interactive -budget 5
+//	visclean -csv dirty.csv -query "VISUALIZE bar ..." -interactive
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"visclean/internal/datagen"
+	"visclean/internal/dataset"
+	"visclean/internal/erg"
+	"visclean/internal/oracle"
+	"visclean/internal/pipeline"
+	"visclean/internal/render"
+	"visclean/internal/vql"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "dirty CSV file to clean (alternative to -dataset)")
+	dsName := flag.String("dataset", "", "generate a synthetic dataset: D1, D2 or D3")
+	scale := flag.Float64("scale", 0.02, "synthetic dataset scale factor")
+	queryStr := flag.String("query", "", "VQL query (default: a representative query for the dataset)")
+	budget := flag.Int("budget", 15, "interaction budget (iterations)")
+	k := flag.Int("k", 10, "CQG size")
+	selector := flag.String("selector", "gss", "CQG selection: gss, gss+, bb, abb, random, single")
+	seed := flag.Int64("seed", 1, "random seed")
+	interactive := flag.Bool("interactive", false, "ask questions on the terminal instead of simulating")
+	flag.Parse()
+
+	if err := run(*csvPath, *dsName, *queryStr, *scale, *budget, *k, *selector, *seed, *interactive); err != nil {
+		fmt.Fprintln(os.Stderr, "visclean:", err)
+		os.Exit(1)
+	}
+}
+
+var defaultQueries = map[string]string{
+	"D1": `VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`,
+	"D2": `VISUALIZE bar SELECT Team, SUM(#Points) FROM D2 TRANSFORM GROUP BY Team SORT Y BY DESC LIMIT 10`,
+	"D3": `VISUALIZE bar SELECT Publ, AVG(Rating) FROM D3 TRANSFORM GROUP BY Publ SORT Y BY DESC LIMIT 10`,
+}
+
+func parseSelector(s string) (pipeline.SelectorKind, error) {
+	switch strings.ToLower(s) {
+	case "gss":
+		return pipeline.SelectGSS, nil
+	case "gss+", "gssplus":
+		return pipeline.SelectGSSPlus, nil
+	case "bb", "b&b":
+		return pipeline.SelectBB, nil
+	case "abb", "alphabb":
+		return pipeline.SelectAlphaBB, nil
+	case "random":
+		return pipeline.SelectRandom, nil
+	case "single":
+		return pipeline.SelectSingle, nil
+	default:
+		return 0, fmt.Errorf("unknown selector %q", s)
+	}
+}
+
+func run(csvPath, dsName, queryStr string, scale float64, budget, k int, selectorName string, seed int64, interactive bool) error {
+	sel, err := parseSelector(selectorName)
+	if err != nil {
+		return err
+	}
+
+	var (
+		tbl     *dataset.Table
+		keyCols []int
+		truth   *oracle.GroundTruth
+	)
+	switch {
+	case dsName != "":
+		cfg := datagen.Config{Scale: scale, Seed: seed}
+		var d *datagen.Dataset
+		switch dsName {
+		case "D1":
+			d = datagen.D1(cfg)
+		case "D2":
+			d = datagen.D2(cfg)
+		case "D3":
+			d = datagen.D3(cfg)
+		default:
+			return fmt.Errorf("unknown dataset %q", dsName)
+		}
+		tbl, keyCols, truth = d.Dirty, d.KeyColumns, d.Truth
+		if queryStr == "" {
+			queryStr = defaultQueries[dsName]
+		}
+	case csvPath != "":
+		tbl, err = dataset.LoadCSVFile(csvPath, nil)
+		if err != nil {
+			return err
+		}
+		if !interactive {
+			return fmt.Errorf("-csv requires -interactive (no ground truth to simulate a user)")
+		}
+		if queryStr == "" {
+			return fmt.Errorf("-csv requires -query")
+		}
+	default:
+		return fmt.Errorf("one of -dataset or -csv is required")
+	}
+
+	q, err := vql.Parse(queryStr)
+	if err != nil {
+		return err
+	}
+
+	cfg := pipeline.Config{Selector: sel, K: k, Seed: seed}
+	if truth != nil {
+		if tv, err := q.Execute(truth.Clean); err == nil {
+			cfg.TruthVis = tv
+		}
+	}
+	session, err := pipeline.NewSession(tbl, q, keyCols, cfg)
+	if err != nil {
+		return err
+	}
+
+	var user pipeline.User
+	if interactive {
+		user = &terminalUser{in: bufio.NewScanner(os.Stdin), table: session.Table()}
+	} else {
+		user = oracle.New(truth, seed)
+	}
+
+	initial, err := session.CurrentVis()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Query: %s\n\nInitial (dirty) visualization:\n%s\n", q.String(), render.Chart(initial, 50))
+	if d0, err := session.DistToTruth(); err == nil && cfg.TruthVis != nil {
+		fmt.Printf("EMD to ground truth: %.5f\n\n", d0)
+	}
+
+	for i := 0; i < budget; i++ {
+		rep, err := session.RunIteration(user)
+		if err != nil {
+			return err
+		}
+		if rep.Exhausted {
+			fmt.Println("Nothing left to ask — the ERG is exhausted.")
+			break
+		}
+		fmt.Printf("iteration %2d [%s]: %d questions (T=%d A=%d M=%d O=%d), moved %.5f",
+			rep.Iteration, rep.Selector, rep.Questions(),
+			rep.TQuestions, rep.AQuestions, rep.MQuestions, rep.OQuestions, rep.DistMoved)
+		if cfg.TruthVis != nil {
+			fmt.Printf(", EMD to truth %.5f", rep.DistToTruth)
+		}
+		fmt.Println()
+	}
+
+	final, err := session.CurrentVis()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nCleaned visualization after %d iterations:\n%s", session.Iteration(), render.Chart(final, 50))
+	if truth != nil && cfg.TruthVis != nil {
+		fmt.Printf("\nGround-truth visualization:\n%s", render.Chart(cfg.TruthVis, 50))
+	}
+	return nil
+}
+
+// terminalUser answers questions on the terminal, rendering each CQG
+// first — the text edition of the paper's graph GUI.
+type terminalUser struct {
+	in    *bufio.Scanner
+	table *dataset.Table
+}
+
+func (u *terminalUser) BeginCQG(g *erg.Graph) {
+	fmt.Println()
+	fmt.Print(render.CQG(g))
+}
+
+func (u *terminalUser) prompt(q string) (string, bool) {
+	fmt.Print(q)
+	if !u.in.Scan() {
+		return "", false
+	}
+	return strings.TrimSpace(u.in.Text()), true
+}
+
+func (u *terminalUser) yesNo(q string) (bool, bool) {
+	for {
+		ans, ok := u.prompt(q + " [y/n/skip] ")
+		if !ok {
+			return false, false
+		}
+		switch strings.ToLower(ans) {
+		case "y", "yes":
+			return true, true
+		case "n", "no":
+			return false, true
+		case "s", "skip", "":
+			return false, false
+		}
+	}
+}
+
+func (u *terminalUser) showTuple(id dataset.TupleID) {
+	row, ok := u.table.RowByID(id)
+	if !ok {
+		return
+	}
+	var cells []string
+	for c, v := range row {
+		cells = append(cells, fmt.Sprintf("%s=%s", u.table.Schema()[c].Name, v))
+	}
+	fmt.Printf("  t%d: %s\n", id, strings.Join(cells, " | "))
+}
+
+func (u *terminalUser) AnswerT(a, b dataset.TupleID) (bool, bool) {
+	u.showTuple(a)
+	u.showTuple(b)
+	return u.yesNo(fmt.Sprintf("Are t%d and t%d the same entity?", a, b))
+}
+
+func (u *terminalUser) AnswerA(column, v1, v2 string) (bool, bool) {
+	return u.yesNo(fmt.Sprintf("Do %s values %q and %q denote the same thing?", column, v1, v2))
+}
+
+func (u *terminalUser) AnswerM(column string, id dataset.TupleID) (float64, bool) {
+	u.showTuple(id)
+	for {
+		ans, ok := u.prompt(fmt.Sprintf("t%d is missing %s — enter the value (or skip): ", id, column))
+		if !ok || ans == "" || strings.EqualFold(ans, "skip") {
+			return 0, false
+		}
+		if f, err := strconv.ParseFloat(ans, 64); err == nil {
+			return f, true
+		}
+		fmt.Println("  not a number")
+	}
+}
+
+func (u *terminalUser) AnswerO(column string, id dataset.TupleID, current float64) (bool, float64, bool) {
+	u.showTuple(id)
+	isOut, answered := u.yesNo(fmt.Sprintf("Is %s=%g of t%d wrong (an outlier)?", column, current, id))
+	if !answered {
+		return false, 0, false
+	}
+	if !isOut {
+		return false, current, true
+	}
+	for {
+		ans, ok := u.prompt("  enter the corrected value (or skip): ")
+		if !ok || ans == "" || strings.EqualFold(ans, "skip") {
+			return false, 0, false
+		}
+		if f, err := strconv.ParseFloat(ans, 64); err == nil {
+			return true, f, true
+		}
+		fmt.Println("  not a number")
+	}
+}

@@ -1,0 +1,91 @@
+// Command viscleanweb serves VisClean's composite-question GUI (§VI) in
+// the browser: the progressive chart on top, the current composite
+// question below it, with confirm/split buttons on edges and
+// approve/reject controls on vertex repairs — the web edition of the
+// paper's Fig 9 interface.
+//
+// Usage:
+//
+//	viscleanweb -dataset D1 -scale 0.01 -addr :8080
+//	viscleanweb -dataset D1 -scale 0.01 -auto   # oracle answers, watch it clean
+//
+// Then open http://localhost:8080.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"visclean/internal/datagen"
+	"visclean/internal/oracle"
+	"visclean/internal/pipeline"
+	"visclean/internal/vql"
+)
+
+func main() {
+	dsName := flag.String("dataset", "D1", "synthetic dataset: D1, D2 or D3")
+	scale := flag.Float64("scale", 0.01, "dataset scale factor")
+	queryStr := flag.String("query", "", "VQL query (default: a representative query)")
+	k := flag.Int("k", 10, "CQG size")
+	seed := flag.Int64("seed", 1, "random seed")
+	addr := flag.String("addr", ":8080", "listen address")
+	auto := flag.Bool("auto", false, "let the ground-truth oracle answer instead of the browser user")
+	flag.Parse()
+
+	if err := run(*dsName, *queryStr, *scale, *k, *seed, *addr, *auto); err != nil {
+		fmt.Fprintln(os.Stderr, "viscleanweb:", err)
+		os.Exit(1)
+	}
+}
+
+var defaultQueries = map[string]string{
+	"D1": `VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`,
+	"D2": `VISUALIZE bar SELECT Team, SUM(#Points) FROM D2 TRANSFORM GROUP BY Team SORT Y BY DESC LIMIT 10`,
+	"D3": `VISUALIZE bar SELECT Publ, AVG(Rating) FROM D3 TRANSFORM GROUP BY Publ SORT Y BY DESC LIMIT 10`,
+}
+
+func run(dsName, queryStr string, scale float64, k int, seed int64, addr string, auto bool) error {
+	cfg := datagen.Config{Scale: scale, Seed: seed}
+	var d *datagen.Dataset
+	switch dsName {
+	case "D1":
+		d = datagen.D1(cfg)
+	case "D2":
+		d = datagen.D2(cfg)
+	case "D3":
+		d = datagen.D3(cfg)
+	default:
+		return fmt.Errorf("unknown dataset %q", dsName)
+	}
+	if queryStr == "" {
+		queryStr = defaultQueries[dsName]
+	}
+	q, err := vql.Parse(queryStr)
+	if err != nil {
+		return err
+	}
+	pcfg := pipeline.Config{K: k, Seed: seed}
+	if tv, err := q.Execute(d.Truth.Clean); err == nil {
+		pcfg.TruthVis = tv
+	}
+	session, err := pipeline.NewSession(d.Dirty, q, d.KeyColumns, pcfg)
+	if err != nil {
+		return err
+	}
+
+	srv := newServer(session, q.String())
+	if auto {
+		srv.autoUser = oracle.New(d.Truth, seed)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", srv.handleIndex)
+	mux.HandleFunc("/api/state", srv.handleState)
+	mux.HandleFunc("/api/iterate", srv.handleIterate)
+	mux.HandleFunc("/api/answer", srv.handleAnswer)
+
+	log.Printf("viscleanweb: %s on http://localhost%s (auto=%v)", dsName, addr, auto)
+	return http.ListenAndServe(addr, mux)
+}

@@ -1,0 +1,121 @@
+package main
+
+// indexHTML is the single-page GUI: progressive chart, composite
+// question context, and answer controls — the web edition of the
+// paper's Fig 9.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>VisClean</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #222; }
+  h1 { font-size: 1.3rem; }
+  .query { font-family: monospace; background: #f4f4f4; padding: .5rem; border-radius: 4px; }
+  .bar-row { display: flex; align-items: center; margin: 2px 0; }
+  .bar-label { width: 14rem; text-align: right; padding-right: .5rem; font-size: .85rem;
+               overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+  .bar { background: #4a7fb5; height: 1.1rem; border-radius: 2px; }
+  .bar-value { padding-left: .4rem; font-size: .8rem; color: #555; }
+  .panel { border: 1px solid #ddd; border-radius: 6px; padding: 1rem; margin-top: 1rem; }
+  .pending { border-color: #c90; background: #fffbe8; }
+  button { margin-right: .5rem; padding: .35rem .9rem; border-radius: 4px; border: 1px solid #888;
+           background: #fff; cursor: pointer; }
+  button.primary { background: #2b6e2b; color: #fff; border-color: #2b6e2b; }
+  button.danger { background: #a33; color: #fff; border-color: #a33; }
+  table { border-collapse: collapse; font-size: .8rem; margin: .5rem 0; }
+  td, th { border: 1px solid #ddd; padding: .2rem .5rem; }
+  .meta { color: #666; font-size: .85rem; }
+  .cqg { font-size: .8rem; color: #555; }
+  input[type=number] { width: 8rem; padding: .3rem; }
+</style>
+</head>
+<body>
+<h1>VisClean — interactive cleaning for progressive visualization</h1>
+<div class="query" id="query"></div>
+<div class="meta" id="meta"></div>
+<div id="chart"></div>
+<div class="panel" id="qpanel" style="display:none"></div>
+<div class="panel" id="controls">
+  <button class="primary" id="iterate">Ask next composite question</button>
+  <span class="meta" id="status"></span>
+</div>
+<div class="cqg" id="cqg"></div>
+<script>
+async function getState() {
+  const r = await fetch('/api/state');
+  return r.json();
+}
+function renderChart(c) {
+  const el = document.getElementById('chart');
+  if (!c || !c.labels || c.labels.length === 0) { el.innerHTML = '<p class="meta">(empty chart)</p>'; return; }
+  const max = Math.max(...c.values.map(Math.abs), 1e-9);
+  el.innerHTML = c.labels.map((l, i) => {
+    const w = Math.max(1, Math.round(420 * Math.abs(c.values[i]) / max));
+    return '<div class="bar-row"><div class="bar-label" title="' + l + '">' + l +
+      '</div><div class="bar" style="width:' + w + 'px"></div>' +
+      '<div class="bar-value">' + c.values[i].toFixed(1) + '</div></div>';
+  }).join('');
+}
+function tupleTable(cells) {
+  if (!cells || cells.length === 0) return '';
+  return '<table><tr>' + cells.map(c => '<th>' + c.name + '</th>').join('') + '</tr><tr>' +
+    cells.map(c => '<td>' + (c.value || '∅') + '</td>').join('') + '</tr></table>';
+}
+function renderQuestion(q) {
+  const el = document.getElementById('qpanel');
+  if (!q) { el.style.display = 'none'; return; }
+  el.style.display = 'block';
+  el.className = 'panel pending';
+  let html = '<b>' + q.prompt + '</b>';
+  (q.tuples || []).forEach(t => html += tupleTable(t));
+  if (q.kind === 'T' || q.kind === 'A') {
+    html += '<p><button class="primary" onclick="answer({yes:true})">Yes, same</button>' +
+      '<button class="danger" onclick="answer({yes:false})">No, different</button>' +
+      '<button onclick="answer({skip:true})">Skip</button></p>';
+  } else if (q.kind === 'M') {
+    html += '<p><input type="number" id="val" step="any" placeholder="value">' +
+      '<button class="primary" onclick="answerValue(true)">Set value</button>' +
+      '<button onclick="answer({skip:true})">Skip</button></p>';
+  } else {
+    html += '<p class="meta">current value: ' + q.current + '</p>' +
+      '<p><input type="number" id="val" step="any" placeholder="corrected value">' +
+      '<button class="danger" onclick="answerValue(true)">Wrong — correct it</button>' +
+      '<button class="primary" onclick="answer({yes:false})">Value is fine</button>' +
+      '<button onclick="answer({skip:true})">Skip</button></p>';
+  }
+  el.innerHTML = html;
+}
+async function answer(body) {
+  await fetch('/api/answer', {method: 'POST', body: JSON.stringify(body)});
+  refresh();
+}
+async function answerValue(yes) {
+  const v = parseFloat(document.getElementById('val').value);
+  if (isNaN(v)) { alert('enter a number'); return; }
+  await answer({yes: yes, value: v});
+}
+document.getElementById('iterate').onclick = async () => {
+  await fetch('/api/iterate', {method: 'POST'});
+  refresh();
+};
+async function refresh() {
+  const s = await getState();
+  document.getElementById('query').textContent = s.query;
+  let meta = 'iteration ' + s.iteration;
+  if (s.distToTruth > 0) meta += ' · distance to ground truth ' + s.distToTruth.toFixed(5);
+  if (s.lastReport) meta += ' · last CQG answered ' + s.lastReport.questions + ' questions';
+  if (s.error) meta += ' · error: ' + s.error;
+  document.getElementById('meta').textContent = meta;
+  if (!s.running) renderChart(s.chart);
+  renderQuestion(s.question);
+  document.getElementById('status').textContent =
+    s.running ? (s.question ? 'waiting for your answer…' : 'thinking…') : 'idle';
+  document.getElementById('cqg').textContent = s.cqg ?
+    'CQG: ' + s.cqg.vertices.join(', ') + ' | links: ' + s.cqg.edges.join(' · ') : '';
+}
+setInterval(refresh, 700);
+refresh();
+</script>
+</body>
+</html>`

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"visclean/internal/dataset"
+	"visclean/internal/erg"
+	"visclean/internal/pipeline"
+	"visclean/internal/vis"
+)
+
+// server owns the cleaning session and bridges the pull-based User
+// interface (the session asks questions) to the push-based HTTP world
+// (the browser answers them): RunIteration executes in a goroutine with
+// a channel-backed User; each question parks in `pending` until an
+// /api/answer arrives.
+type server struct {
+	mu       sync.Mutex
+	session  *pipeline.Session
+	query    string
+	autoUser pipeline.User // when set, answers come from the oracle
+
+	running  bool
+	pending  *question
+	answerCh chan answer
+	lastRep  *pipeline.Report
+	cqg      *cqgView
+	err      string
+}
+
+type question struct {
+	ID      int       `json:"id"`
+	Kind    string    `json:"kind"` // "T", "A", "M", "O"
+	Prompt  string    `json:"prompt"`
+	Column  string    `json:"column,omitempty"`
+	V1      string    `json:"v1,omitempty"`
+	V2      string    `json:"v2,omitempty"`
+	Current float64   `json:"current,omitempty"`
+	Tuples  [][]cellV `json:"tuples,omitempty"`
+}
+
+type cellV struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+type answer struct {
+	Yes   bool
+	Value float64
+	HasV  bool
+	Skip  bool
+}
+
+type cqgView struct {
+	Vertices []string `json:"vertices"`
+	Edges    []string `json:"edges"`
+}
+
+func newServer(s *pipeline.Session, query string) *server {
+	return &server{session: s, query: query, answerCh: make(chan answer)}
+}
+
+// webUser implements pipeline.User by parking each question on the
+// server and blocking for the browser's answer.
+type webUser struct{ s *server }
+
+func (u webUser) BeginCQG(g *erg.Graph) {
+	view := &cqgView{}
+	for _, v := range g.Vertices() {
+		label := tupleLabel(v)
+		if r := g.Repair(v); r != nil {
+			label += " [" + r.Kind.String() + "]"
+		}
+		view.Vertices = append(view.Vertices, label)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		view.Edges = append(view.Edges, tupleLabel(e.A)+" — "+tupleLabel(e.B))
+	}
+	u.s.mu.Lock()
+	u.s.cqg = view
+	u.s.mu.Unlock()
+}
+
+func tupleLabel(id dataset.TupleID) string {
+	return "t" + itoa(int(id))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// ask parks a question and waits for its answer.
+func (u webUser) ask(q question) answer {
+	u.s.mu.Lock()
+	q.ID++
+	if u.s.pending != nil {
+		q.ID = u.s.pending.ID + 1
+	}
+	u.s.pending = &q
+	u.s.mu.Unlock()
+	a := <-u.s.answerCh
+	u.s.mu.Lock()
+	u.s.pending = nil
+	u.s.mu.Unlock()
+	return a
+}
+
+func (u webUser) tupleCells(id dataset.TupleID) []cellV {
+	t := u.s.session.Table()
+	row, ok := t.RowByID(id)
+	if !ok {
+		return nil
+	}
+	out := make([]cellV, 0, len(row))
+	for c, v := range row {
+		out = append(out, cellV{Name: t.Schema()[c].Name, Value: v.String()})
+	}
+	return out
+}
+
+func (u webUser) AnswerT(a, b dataset.TupleID) (bool, bool) {
+	ans := u.ask(question{
+		Kind:   "T",
+		Prompt: "Are " + tupleLabel(a) + " and " + tupleLabel(b) + " the same entity?",
+		Tuples: [][]cellV{u.tupleCells(a), u.tupleCells(b)},
+	})
+	if ans.Skip {
+		return false, false
+	}
+	return ans.Yes, true
+}
+
+func (u webUser) AnswerA(column, v1, v2 string) (bool, bool) {
+	ans := u.ask(question{
+		Kind:   "A",
+		Prompt: "Do " + column + " values “" + v1 + "” and “" + v2 + "” denote the same thing?",
+		Column: column, V1: v1, V2: v2,
+	})
+	if ans.Skip {
+		return false, false
+	}
+	return ans.Yes, true
+}
+
+func (u webUser) AnswerM(column string, id dataset.TupleID) (float64, bool) {
+	ans := u.ask(question{
+		Kind:   "M",
+		Prompt: tupleLabel(id) + " is missing its " + column + " value — what should it be?",
+		Column: column,
+		Tuples: [][]cellV{u.tupleCells(id)},
+	})
+	if ans.Skip || !ans.HasV {
+		return 0, false
+	}
+	return ans.Value, true
+}
+
+func (u webUser) AnswerO(column string, id dataset.TupleID, current float64) (bool, float64, bool) {
+	ans := u.ask(question{
+		Kind:    "O",
+		Prompt:  "Is " + column + " of " + tupleLabel(id) + " wrong (an outlier)? If yes, give the corrected value.",
+		Column:  column,
+		Current: current,
+		Tuples:  [][]cellV{u.tupleCells(id)},
+	})
+	if ans.Skip {
+		return false, 0, false
+	}
+	if !ans.Yes {
+		return false, current, true
+	}
+	if !ans.HasV {
+		return false, 0, false
+	}
+	return true, ans.Value, true
+}
+
+// handleIterate kicks off one iteration unless one is already running.
+func (s *server) handleIterate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		http.Error(w, "iteration already running", http.StatusConflict)
+		return
+	}
+	s.running = true
+	s.cqg = nil
+	s.err = ""
+	s.mu.Unlock()
+
+	go func() {
+		var user pipeline.User = webUser{s: s}
+		if s.autoUser != nil {
+			user = s.autoUser
+		}
+		rep, err := s.session.RunIteration(user)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.running = false
+		if err != nil {
+			s.err = err.Error()
+			return
+		}
+		s.lastRep = &rep
+	}()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleAnswer resolves the pending question.
+func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var body struct {
+		Yes   *bool    `json:"yes"`
+		Value *float64 `json:"value"`
+		Skip  bool     `json:"skip"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	pendingExists := s.pending != nil
+	s.mu.Unlock()
+	if !pendingExists {
+		http.Error(w, "no pending question", http.StatusConflict)
+		return
+	}
+	a := answer{Skip: body.Skip}
+	if body.Yes != nil {
+		a.Yes = *body.Yes
+	}
+	if body.Value != nil {
+		a.Value = *body.Value
+		a.HasV = true
+	}
+	select {
+	case s.answerCh <- a:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "no question waiting", http.StatusConflict)
+	}
+}
+
+type stateResponse struct {
+	Query     string    `json:"query"`
+	Iteration int       `json:"iteration"`
+	Running   bool      `json:"running"`
+	Chart     chartJSON `json:"chart"`
+	Truth     float64   `json:"distToTruth"`
+	Question  *question `json:"question,omitempty"`
+	CQG       *cqgView  `json:"cqg,omitempty"`
+	Report    *repJSON  `json:"lastReport,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+type chartJSON struct {
+	Type   string    `json:"type"`
+	Labels []string  `json:"labels"`
+	Values []float64 `json:"values"`
+}
+
+type repJSON struct {
+	Questions int     `json:"questions"`
+	Moved     float64 `json:"moved"`
+	Exhausted bool    `json:"exhausted"`
+}
+
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := stateResponse{
+		Query:     s.query,
+		Iteration: s.session.Iteration(),
+		Running:   s.running,
+		Question:  s.pending,
+		CQG:       s.cqg,
+		Error:     s.err,
+	}
+	if s.lastRep != nil {
+		resp.Report = &repJSON{
+			Questions: s.lastRep.Questions(),
+			Moved:     s.lastRep.DistMoved,
+			Exhausted: s.lastRep.Exhausted,
+		}
+	}
+	s.mu.Unlock()
+
+	// CurrentVis touches session internals; only safe when no iteration
+	// goroutine is mutating them.
+	if !resp.Running {
+		if v, err := s.session.CurrentVis(); err == nil {
+			resp.Chart = toChartJSON(v)
+		}
+		if d, err := s.session.DistToTruth(); err == nil {
+			resp.Truth = d
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func toChartJSON(v *vis.Data) chartJSON {
+	out := chartJSON{Type: v.Type.String()}
+	for _, p := range v.Points {
+		out.Labels = append(out.Labels, p.Label)
+		out.Values = append(out.Values, p.Y)
+	}
+	return out
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}

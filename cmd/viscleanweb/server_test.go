@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"visclean/internal/datagen"
+	"visclean/internal/oracle"
+	"visclean/internal/pipeline"
+	"visclean/internal/vql"
+)
+
+func testServer(t *testing.T, auto bool) *server {
+	t.Helper()
+	d := datagen.D1(datagen.Config{Scale: 0.004, Seed: 3})
+	q := vql.MustParse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
+	tv, err := q.Execute(d.Truth.Clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pipeline.NewSession(d.Dirty, q, d.KeyColumns, pipeline.Config{Seed: 3, TruthVis: tv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(s, q.String())
+	if auto {
+		srv.autoUser = oracle.New(d.Truth, 3)
+	}
+	return srv
+}
+
+func getState(t *testing.T, srv *server) stateResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.handleState(rec, httptest.NewRequest(http.MethodGet, "/api/state", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("state status %d", rec.Code)
+	}
+	var out stateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStateEndpoint(t *testing.T) {
+	srv := testServer(t, false)
+	s := getState(t, srv)
+	if s.Iteration != 0 || s.Running {
+		t.Fatalf("fresh state = %+v", s)
+	}
+	if len(s.Chart.Labels) == 0 {
+		t.Fatal("no chart in initial state")
+	}
+	if s.Truth <= 0 {
+		t.Fatal("dist to truth missing")
+	}
+}
+
+func TestAutoIteration(t *testing.T) {
+	srv := testServer(t, true)
+	rec := httptest.NewRecorder()
+	srv.handleIterate(rec, httptest.NewRequest(http.MethodPost, "/api/iterate", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("iterate status %d", rec.Code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := getState(t, srv); !s.Running {
+			if s.Iteration != 1 {
+				t.Fatalf("iteration = %d after auto run", s.Iteration)
+			}
+			if s.Report == nil || s.Report.Questions == 0 {
+				t.Fatalf("report missing: %+v", s.Report)
+			}
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("auto iteration never finished")
+}
+
+func TestIterateConflictWhileRunning(t *testing.T) {
+	srv := testServer(t, false) // web user: iteration blocks on answers
+	rec := httptest.NewRecorder()
+	srv.handleIterate(rec, httptest.NewRequest(http.MethodPost, "/api/iterate", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("iterate status %d", rec.Code)
+	}
+	rec2 := httptest.NewRecorder()
+	srv.handleIterate(rec2, httptest.NewRequest(http.MethodPost, "/api/iterate", nil))
+	if rec2.Code != http.StatusConflict {
+		t.Fatalf("second iterate status %d, want conflict", rec2.Code)
+	}
+	// Answer questions (skipping everything) until the iteration ends so
+	// the goroutine does not leak.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		s := getState(t, srv)
+		if !s.Running {
+			return
+		}
+		if s.Question != nil {
+			rec := httptest.NewRecorder()
+			srv.handleAnswer(rec, httptest.NewRequest(http.MethodPost, "/api/answer",
+				strings.NewReader(`{"skip":true}`)))
+			if rec.Code != http.StatusNoContent && rec.Code != http.StatusConflict {
+				t.Fatalf("answer status %d", rec.Code)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("iteration never finished under skip-all answers")
+}
+
+func TestAnswerWithoutQuestion(t *testing.T) {
+	srv := testServer(t, false)
+	rec := httptest.NewRecorder()
+	srv.handleAnswer(rec, httptest.NewRequest(http.MethodPost, "/api/answer", strings.NewReader(`{"yes":true}`)))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("answer with no question: status %d", rec.Code)
+	}
+}
+
+func TestAnswerBadJSON(t *testing.T) {
+	srv := testServer(t, false)
+	rec := httptest.NewRecorder()
+	srv.handleAnswer(rec, httptest.NewRequest(http.MethodPost, "/api/answer", strings.NewReader(`{`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json status %d", rec.Code)
+	}
+}
+
+func TestMethodGuards(t *testing.T) {
+	srv := testServer(t, false)
+	rec := httptest.NewRecorder()
+	srv.handleIterate(rec, httptest.NewRequest(http.MethodGet, "/api/iterate", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET iterate status %d", rec.Code)
+	}
+	rec2 := httptest.NewRecorder()
+	srv.handleAnswer(rec2, httptest.NewRequest(http.MethodGet, "/api/answer", nil))
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET answer status %d", rec2.Code)
+	}
+}
+
+func TestIndexServesPage(t *testing.T) {
+	srv := testServer(t, false)
+	rec := httptest.NewRecorder()
+	srv.handleIndex(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "VisClean") {
+		t.Fatalf("index page wrong: %d", rec.Code)
+	}
+}

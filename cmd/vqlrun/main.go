@@ -1,0 +1,60 @@
+// Command vqlrun executes a VQL visualization query against a CSV file
+// and renders the resulting chart in the terminal.
+//
+// Usage:
+//
+//	vqlrun -csv data.csv -query "VISUALIZE bar SELECT Venue, SUM(Citations) FROM d TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"visclean/internal/dataset"
+	"visclean/internal/render"
+	"visclean/internal/vql"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "input CSV file (header row required)")
+	queryStr := flag.String("query", "", "VQL query to execute")
+	width := flag.Int("width", 50, "bar chart width in characters")
+	vega := flag.Bool("vega", false, "emit a Vega-Lite v5 JSON spec instead of ASCII")
+	flag.Parse()
+
+	if *csvPath == "" || *queryStr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*csvPath, *queryStr, *width, *vega); err != nil {
+		fmt.Fprintln(os.Stderr, "vqlrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(csvPath, queryStr string, width int, vega bool) error {
+	tbl, err := dataset.LoadCSVFile(csvPath, nil)
+	if err != nil {
+		return err
+	}
+	q, err := vql.Parse(queryStr)
+	if err != nil {
+		return err
+	}
+	d, err := q.Execute(tbl)
+	if err != nil {
+		return err
+	}
+	if vega {
+		spec, err := render.VegaLite(d, q.String())
+		if err != nil {
+			return err
+		}
+		fmt.Println(spec)
+		return nil
+	}
+	fmt.Printf("%s over %d rows → %d marks\n\n", q.String(), tbl.NumRows(), len(d.Points))
+	fmt.Print(render.Chart(d, width))
+	return nil
+}

@@ -1,0 +1,76 @@
+// Crowd: drive a cleaning session with a simulated crowd instead of one
+// expert.
+//
+// The paper collected its ground truth by crowdsourcing — many imperfect
+// annotators whose aggregated answers approach an expert's. This example
+// cleans the same D1 chart three ways and compares the outcomes:
+//
+//  1. a perfect expert oracle,
+//  2. a crowd panel (9 workers, 75–95% accuracy, 3-vote majority),
+//  3. a single mediocre worker (75% accuracy, no aggregation),
+//
+// showing that majority aggregation recovers most of the expert's
+// cleaning quality while a lone unreliable worker does visibly worse.
+//
+// Run it with:
+//
+//	go run ./examples/crowd [-scale 0.01] [-budget 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"visclean"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.01, "dataset scale")
+	budget := flag.Int("budget", 12, "interaction budget")
+	flag.Parse()
+
+	query := visclean.MustParseQuery(`
+		VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1
+		TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
+
+	type runner struct {
+		name string
+		user func(d *visclean.Dataset) visclean.User
+	}
+	runners := []runner{
+		{"expert oracle", func(d *visclean.Dataset) visclean.User {
+			return visclean.NewOracle(d.Truth, 21)
+		}},
+		{"crowd (9 workers, 3 votes)", func(d *visclean.Dataset) visclean.User {
+			return visclean.NewCrowdPanel(d.Truth, 9, 0.75, 0.95, 21)
+		}},
+		{"single 75% worker", func(d *visclean.Dataset) visclean.User {
+			p := visclean.NewCrowdPanel(d.Truth, 1, 0.75, 0.75, 21)
+			p.K = 1
+			return p
+		}},
+	}
+
+	fmt.Printf("%-28s %12s %12s\n", "answering mechanism", "initial", "final")
+	for _, r := range runners {
+		d := visclean.GenerateD1(visclean.GenConfig{Scale: *scale, Seed: 21})
+		truthVis, err := query.Execute(d.Truth.Clean)
+		if err != nil {
+			log.Fatal(err)
+		}
+		session, err := visclean.NewSession(d.Dirty, query, d.KeyColumns, visclean.Config{
+			Seed:     21,
+			TruthVis: truthVis,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d0, _ := session.DistToTruth()
+		if _, err := session.Run(r.user(d), *budget); err != nil {
+			log.Fatal(err)
+		}
+		dEnd, _ := session.DistToTruth()
+		fmt.Printf("%-28s %12.5f %12.5f\n", r.name, d0, dEnd)
+	}
+}

@@ -1,0 +1,103 @@
+// NBA: compare composite questions against single questions on D2.
+//
+// Generates the NBA-players dataset (records from three communities with
+// team-name variants and stat errors), runs the paper's Q10 — team share
+// of total points as a pie chart — twice with the same budget: once with
+// composite questions (GSS) and once with the Single baseline, and
+// reports the user-time saving of the composite mechanism (the paper's
+// Figs 15–16 finding: ≈40%).
+//
+// Run it with:
+//
+//	go run ./examples/nba [-scale 0.05] [-budget 15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"visclean"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "dataset scale (1.0 = 4,644 players)")
+	budget := flag.Int("budget", 15, "interaction budget")
+	flag.Parse()
+
+	query := visclean.MustParseQuery(`
+		VISUALIZE pie SELECT Team, SUM(#Points) FROM D2
+		TRANSFORM GROUP BY Team SORT Y BY DESC LIMIT 10`)
+
+	type outcome struct {
+		name    string
+		seconds float64
+		dist    float64
+		final   *visclean.VisData
+	}
+	var outcomes []outcome
+	for _, mode := range []struct {
+		name     string
+		selector visclean.SelectorKind
+	}{
+		{"composite (GSS)", visclean.SelectGSS},
+		{"single questions", visclean.SelectSingle},
+	} {
+		d := visclean.GenerateD2(visclean.GenConfig{Scale: *scale, Seed: 7})
+		truthVis, err := query.Execute(d.Truth.Clean)
+		if err != nil {
+			log.Fatal(err)
+		}
+		session, err := visclean.NewSession(d.Dirty, query, d.KeyColumns, visclean.Config{
+			Seed:     7,
+			Selector: mode.selector,
+			TruthVis: truthVis,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		user := visclean.NewOracle(d.Truth, 7)
+		cost := visclean.NewCostModel(7)
+
+		if len(outcomes) == 0 {
+			initial, err := session.CurrentVis()
+			if err != nil {
+				log.Fatal(err)
+			}
+			d0, _ := session.DistToTruth()
+			fmt.Printf("Dirty pie chart (EMD to truth %.5f):\n%s\n", d0, visclean.RenderChart(initial, 40))
+		}
+
+		seconds := 0.0
+		for i := 0; i < *budget; i++ {
+			rep, err := session.RunIteration(user)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.Exhausted {
+				break
+			}
+			if mode.selector == visclean.SelectSingle {
+				seconds += cost.SingleGroupCost(rep.Questions())
+			} else {
+				seconds += cost.CompositeCost(rep.TQuestions+rep.AQuestions, rep.MQuestions+rep.OQuestions)
+			}
+		}
+		dist, _ := session.DistToTruth()
+		final, err := session.CurrentVis()
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{mode.name, seconds, dist, final})
+	}
+
+	fmt.Printf("%-18s %12s %12s\n", "mechanism", "user time", "final EMD")
+	for _, o := range outcomes {
+		fmt.Printf("%-18s %11.0fs %12.5f\n", o.name, o.seconds, o.dist)
+	}
+	if s := outcomes[1].seconds; s > 0 {
+		fmt.Printf("\ncomposite questions saved %.0f%% of user time\n",
+			(1-outcomes[0].seconds/s)*100)
+	}
+	fmt.Printf("\nCleaned pie chart (composite):\n%s", visclean.RenderChart(outcomes[0].final, 40))
+}

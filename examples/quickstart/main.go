@@ -1,0 +1,131 @@
+// Quickstart: clean the paper's running example.
+//
+// This program builds the dirty publications excerpt of the paper's
+// Table I, runs the Fig 1(a) bar chart query (total citations per
+// venue), and lets a scripted user answer three composite questions —
+// watch the duplicated SIGMOD bars merge and the 1740-citation outlier
+// collapse to 174.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"visclean"
+)
+
+// tableI is the dirty excerpt of the paper's Table I.
+func tableI() *visclean.Table {
+	tbl := visclean.NewTable(visclean.Schema{
+		{Name: "Year", Kind: visclean.Float},
+		{Name: "Title", Kind: visclean.String},
+		{Name: "Venue", Kind: visclean.String},
+		{Name: "Affiliation", Kind: visclean.String},
+		{Name: "Citations", Kind: visclean.Float},
+	})
+	rows := [][]visclean.Value{
+		{visclean.Num(2013), visclean.Str("NADEEF"), visclean.Str("ACM SIGMOD"), visclean.Str("QCRI"), visclean.Num(174)},
+		{visclean.Num(2013), visclean.Str("NADEEF"), visclean.Str("SIGMOD Conf."), visclean.Str("QCRI, HBKU"), visclean.Num(1740)},
+		{visclean.Num(2013), visclean.Str("NADEEF"), visclean.Str("SIGMOD"), visclean.Str("QCRI HBKU"), visclean.Num(174)},
+		{visclean.Num(2013), visclean.Str("KuaFu"), visclean.Str("ICDE 2013"), visclean.Str("Microsoft"), visclean.Num(15)},
+		{visclean.Num(2013), visclean.Str("TsingNUS"), visclean.Str("SIGMOD'13"), visclean.Str("Tsinghua"), visclean.Num(13)},
+		{visclean.Num(2013), visclean.Str("TsingNUS"), visclean.Str("SIGMOD'13"), visclean.Str("THU"), visclean.Num(13)},
+		{visclean.Num(2014), visclean.Str("SeeDB"), visclean.Str("VLDB"), visclean.Str("Stanford Univ."), visclean.Null(visclean.Float)},
+		{visclean.Num(2014), visclean.Str("SeeDB"), visclean.Str("Very Large Data Bases"), visclean.Str("Stanford"), visclean.Num(55)},
+		{visclean.Num(2015), visclean.Str("Elaps"), visclean.Str("ICDE"), visclean.Str("NUS"), visclean.Num(42)},
+		{visclean.Num(2015), visclean.Str("Elaps"), visclean.Str("IEEE ICDE Conf. 2015"), visclean.Str("CS@NUS"), visclean.Num(44)},
+	}
+	for _, r := range rows {
+		if _, err := tbl.Append(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// expertUser answers from the paper's ground truth (Table II): duplicate
+// records share a Title, venue synonyms share an obvious meaning, the
+// SeeDB citation count is 55 and the 1740 is a decimal-shifted 174.
+type expertUser struct {
+	table *visclean.Table
+}
+
+func (u *expertUser) AnswerT(a, b visclean.TupleID) (bool, bool) {
+	ra, okA := u.table.RowByID(a)
+	rb, okB := u.table.RowByID(b)
+	if !okA || !okB {
+		return false, true
+	}
+	ta, _ := ra[1].Text()
+	tb, _ := rb[1].Text()
+	return ta == tb, true // in Table I, same title = same paper
+}
+
+var venueClass = map[string]string{
+	"ACM SIGMOD": "SIGMOD", "SIGMOD Conf.": "SIGMOD", "SIGMOD": "SIGMOD",
+	"SIGMOD'13": "SIGMOD", "ICDE 2013": "ICDE", "ICDE": "ICDE",
+	"IEEE ICDE Conf. 2015": "ICDE", "VLDB": "VLDB", "Very Large Data Bases": "VLDB",
+}
+
+func (u *expertUser) AnswerA(column, v1, v2 string) (bool, bool) {
+	return venueClass[v1] != "" && venueClass[v1] == venueClass[v2], true
+}
+
+func (u *expertUser) AnswerM(column string, id visclean.TupleID) (float64, bool) {
+	return 55, true // t7's missing citation count (Table II)
+}
+
+func (u *expertUser) AnswerO(column string, id visclean.TupleID, current float64) (bool, float64, bool) {
+	if current == 1740 {
+		return true, 174, true // the decimal-shift outlier of t2
+	}
+	return false, current, true
+}
+
+func main() {
+	tbl := tableI()
+	query := visclean.MustParseQuery(`
+		VISUALIZE bar SELECT Venue, SUM(Citations) FROM pubs
+		TRANSFORM GROUP BY Venue SORT Y BY DESC`)
+
+	session, err := visclean.NewSession(tbl, query, []int{1}, visclean.Config{Seed: 1, K: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	initial, err := session.CurrentVis()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Dirty bar chart (the paper's Fig 1a): duplicated SIGMOD bars,")
+	fmt.Println("a 10x outlier and a missing VLDB citation count.")
+	fmt.Println()
+	fmt.Print(visclean.RenderChart(initial, 45))
+
+	user := &expertUser{table: session.Table()}
+	for i := 0; i < 4; i++ {
+		rep, err := session.RunIteration(user)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Exhausted {
+			break
+		}
+		fmt.Printf("\ncomposite question %d: %d tuples, %d questions answered (T=%d A=%d M=%d O=%d)\n",
+			rep.Iteration, rep.CQGVertices, rep.Questions(),
+			rep.TQuestions, rep.AQuestions, rep.MQuestions, rep.OQuestions)
+	}
+
+	final, err := session.CurrentVis()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCleaned bar chart (compare the paper's Table II ground truth):")
+	fmt.Println()
+	fmt.Print(visclean.RenderChart(final, 45))
+	fmt.Printf("\nvisualization distance moved: %.4f (EMD)\n", visclean.EMD(initial, final))
+}

@@ -1,0 +1,3 @@
+module visclean
+
+go 1.22

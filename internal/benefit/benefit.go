@@ -1,0 +1,154 @@
+// Package benefit implements the estimation-based benefit model of §V-A
+// (Definition 5.1): the expected benefit of a cleaning question is the
+// probability-weighted visualization distance between the current chart
+// and the chart that would result from each possible user answer,
+//
+//	B(G) = Σ_edges (P^Y·dist^Y + P^N·dist^N)  (Eq. 5)
+//
+// specialized per question type as B_T (Eq. 6), B_A = P^Y·dist^Y,
+// B_M = dist^Y and B_O = dist^Y.
+//
+// The estimator is decoupled from the cleaning pipeline through the
+// Hypothetical callback: the pipeline knows how to derive the chart that
+// a hypothetical answer would produce; this package only prices it.
+package benefit
+
+import (
+	"visclean/internal/dataset"
+	"visclean/internal/distance"
+	"visclean/internal/em"
+	"visclean/internal/erg"
+	"visclean/internal/vis"
+)
+
+// HypKind enumerates the hypothetical user answers the model prices.
+type HypKind int
+
+const (
+	// TConfirm: the user confirms a tuple pair as the same entity.
+	TConfirm HypKind = iota
+	// TSplit: the user splits a tuple pair (not the same entity).
+	TSplit
+	// AApprove: the user approves an attribute-value transformation.
+	AApprove
+	// MImpute: the user accepts a missing-value imputation.
+	MImpute
+	// ORepair: the user accepts an outlier repair.
+	ORepair
+)
+
+func (k HypKind) String() string {
+	switch k {
+	case TConfirm:
+		return "T-confirm"
+	case TSplit:
+		return "T-split"
+	case AApprove:
+		return "A-approve"
+	case MImpute:
+		return "M-impute"
+	case ORepair:
+		return "O-repair"
+	default:
+		return "unknown"
+	}
+}
+
+// Hypothesis is one hypothetical answer. The fields used depend on Kind:
+// Pair for T questions, Column/V1/V2 for A questions, ID/Value for M/O.
+type Hypothesis struct {
+	Kind   HypKind
+	Pair   em.Pair
+	Column string
+	V1     string
+	V2     string
+	ID     dataset.TupleID
+	Value  float64
+}
+
+// Estimator prices questions. Base is the current visualization;
+// Hypothetical derives the visualization under a hypothetical answer
+// (returning nil means the answer is inapplicable and prices as zero).
+type Estimator struct {
+	Dist         distance.Func
+	Base         *vis.Data
+	Hypothetical func(h Hypothesis) *vis.Data
+}
+
+// dist prices one hypothesis: the visualization distance the answer
+// would cause. Bigger distance = dirtier chart fixed = more benefit.
+func (e *Estimator) dist(h Hypothesis) float64 {
+	after := e.Hypothetical(h)
+	if after == nil {
+		return 0
+	}
+	return e.Dist(e.Base, after)
+}
+
+// TBenefit computes Eq. 6 for a T-question: pY·dist^Y + (1−pY)·dist^N,
+// where pY is the current model's matching probability.
+func (e *Estimator) TBenefit(pair em.Pair, pY float64) float64 {
+	distY := e.dist(Hypothesis{Kind: TConfirm, Pair: pair})
+	distN := e.dist(Hypothesis{Kind: TSplit, Pair: pair})
+	return pY*distY + (1-pY)*distN
+}
+
+// ABenefit computes the A-question benefit: pY·dist^Y; a rejected
+// A-question carries no visualization benefit (§V-A (2) case II).
+func (e *Estimator) ABenefit(column, v1, v2 string, pY float64) float64 {
+	return pY * e.dist(Hypothesis{Kind: AApprove, Column: column, V1: v1, V2: v2})
+}
+
+// MBenefit computes the M-question benefit: dist^Y of the imputation.
+func (e *Estimator) MBenefit(id dataset.TupleID, value float64) float64 {
+	return e.dist(Hypothesis{Kind: MImpute, ID: id, Value: value})
+}
+
+// OBenefit computes the O-question benefit: dist^Y of the repair.
+func (e *Estimator) OBenefit(id dataset.TupleID, value float64) float64 {
+	return e.dist(Hypothesis{Kind: ORepair, ID: id, Value: value})
+}
+
+// EdgeBenefit prices one ERG edge: B_T (if the edge carries a T-question)
+// plus B_A (if it carries an A-question).
+func (e *Estimator) EdgeBenefit(edge *erg.Edge) float64 {
+	total := 0.0
+	if edge.HasT {
+		total += e.TBenefit(em.MakePair(edge.A, edge.B), edge.PT)
+	}
+	if edge.HasA {
+		total += e.ABenefit(edge.ACol, edge.AV1, edge.AV2, edge.PA)
+	}
+	return total
+}
+
+// RepairBenefit prices one vertex repair: B_M or B_O.
+func (e *Estimator) RepairBenefit(r *erg.VertexRepair) float64 {
+	if r.Kind == erg.Missing {
+		return e.MBenefit(r.ID, r.Suggested)
+	}
+	return e.OBenefit(r.ID, r.Suggested)
+}
+
+// Annotate fills the Benefit fields of every edge and vertex repair of
+// the ERG, making it ready for CQG selection. It returns the number of
+// hypothetical visualizations evaluated (the experiment harness reports
+// this as benefit-model work).
+func (e *Estimator) Annotate(g *erg.Graph) int {
+	evals := 0
+	for i := 0; i < g.NumEdges(); i++ {
+		edge := g.Edge(i)
+		edge.Benefit = e.EdgeBenefit(edge)
+		if edge.HasT {
+			evals += 2
+		}
+		if edge.HasA {
+			evals++
+		}
+	}
+	for _, r := range g.Repairs() {
+		r.Benefit = e.RepairBenefit(r)
+		evals++
+	}
+	return evals
+}

@@ -1,0 +1,162 @@
+package benefit
+
+import (
+	"math"
+	"testing"
+
+	"visclean/internal/dataset"
+	"visclean/internal/distance"
+	"visclean/internal/em"
+	"visclean/internal/erg"
+	"visclean/internal/vis"
+)
+
+func chart(ys ...float64) *vis.Data {
+	d := &vis.Data{Type: vis.Bar}
+	for i, y := range ys {
+		d.Points = append(d.Points, vis.Point{Label: string(rune('A' + i)), Y: y})
+	}
+	return d
+}
+
+// fakeWorld prices hypotheses from a fixed lookup of resulting charts.
+type fakeWorld struct {
+	base  *vis.Data
+	after map[HypKind]*vis.Data
+}
+
+func (w *fakeWorld) estimator() *Estimator {
+	return &Estimator{
+		Dist: distance.EMD,
+		Base: w.base,
+		Hypothetical: func(h Hypothesis) *vis.Data {
+			return w.after[h.Kind]
+		},
+	}
+}
+
+func TestTBenefitWeighting(t *testing.T) {
+	base := chart(1, 1)
+	confirmVis := chart(3, 1) // some distance dY > 0
+	splitVis := base.Clone()  // no change: dN = 0
+	w := &fakeWorld{base: base, after: map[HypKind]*vis.Data{
+		TConfirm: confirmVis,
+		TSplit:   splitVis,
+	}}
+	e := w.estimator()
+	pair := em.MakePair(1, 2)
+	dY := distance.EMD(base, confirmVis)
+	if dY <= 0 {
+		t.Fatal("test setup: dY must be positive")
+	}
+	for _, pY := range []float64{0, 0.25, 0.5, 1} {
+		got := e.TBenefit(pair, pY)
+		want := pY * dY
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("TBenefit(p=%v) = %v, want %v", pY, got, want)
+		}
+	}
+}
+
+func TestABenefitRejectIsFree(t *testing.T) {
+	base := chart(2, 1)
+	w := &fakeWorld{base: base, after: map[HypKind]*vis.Data{
+		AApprove: chart(3, 0),
+	}}
+	e := w.estimator()
+	dY := distance.EMD(base, w.after[AApprove])
+	if got := e.ABenefit("Venue", "VLDB", "Very Large Data Bases", 0.8); math.Abs(got-0.8*dY) > 1e-12 {
+		t.Fatalf("ABenefit = %v, want %v", got, 0.8*dY)
+	}
+	if got := e.ABenefit("Venue", "x", "y", 0); got != 0 {
+		t.Fatalf("zero-probability A benefit = %v", got)
+	}
+}
+
+func TestMAndOBenefitAreUnweighted(t *testing.T) {
+	base := chart(1, 2)
+	after := chart(5, 2)
+	w := &fakeWorld{base: base, after: map[HypKind]*vis.Data{
+		MImpute: after,
+		ORepair: after,
+	}}
+	e := w.estimator()
+	d := distance.EMD(base, after)
+	if got := e.MBenefit(7, 55); math.Abs(got-d) > 1e-12 {
+		t.Fatalf("MBenefit = %v, want %v", got, d)
+	}
+	if got := e.OBenefit(2, 174); math.Abs(got-d) > 1e-12 {
+		t.Fatalf("OBenefit = %v, want %v", got, d)
+	}
+}
+
+func TestNilHypotheticalPricesZero(t *testing.T) {
+	e := &Estimator{
+		Dist:         distance.EMD,
+		Base:         chart(1, 2),
+		Hypothetical: func(Hypothesis) *vis.Data { return nil },
+	}
+	if got := e.TBenefit(em.MakePair(1, 2), 0.5); got != 0 {
+		t.Fatalf("nil hypothetical priced %v", got)
+	}
+}
+
+func TestAnnotateFillsGraph(t *testing.T) {
+	base := chart(1, 1, 1)
+	afterAny := chart(4, 1, 1)
+	e := &Estimator{
+		Dist: distance.EMD,
+		Base: base,
+		Hypothetical: func(h Hypothesis) *vis.Data {
+			if h.Kind == TSplit {
+				return base.Clone()
+			}
+			return afterAny
+		},
+	}
+	g := erg.MustNew([]dataset.TupleID{1, 2, 3})
+	if err := g.AddEdge(erg.Edge{A: 1, B: 2, HasT: true, PT: 0.6, HasA: true, PA: 0.5, AV1: "a", AV2: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(erg.Edge{A: 2, B: 3, HasT: true, PT: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetRepair(erg.VertexRepair{ID: 3, Kind: erg.Missing, Suggested: 10}); err != nil {
+		t.Fatal(err)
+	}
+	evals := e.Annotate(g)
+	// Edge 0: T (2 evals) + A (1 eval); edge 1: T (2); repair: 1 -> 6.
+	if evals != 6 {
+		t.Fatalf("evals = %d, want 6", evals)
+	}
+	d := distance.EMD(base, afterAny)
+	wantE0 := 0.6*d + 0.5*d
+	if got := g.Edge(0).Benefit; math.Abs(got-wantE0) > 1e-12 {
+		t.Fatalf("edge 0 benefit = %v, want %v", got, wantE0)
+	}
+	if got := g.Edge(1).Benefit; math.Abs(got-0.4*d) > 1e-12 {
+		t.Fatalf("edge 1 benefit = %v, want %v", got, 0.4*d)
+	}
+	if got := g.Repair(3).Benefit; math.Abs(got-d) > 1e-12 {
+		t.Fatalf("repair benefit = %v, want %v", got, d)
+	}
+}
+
+func TestExample5Accounting(t *testing.T) {
+	// Paper Example 5: edge (t1,t2) with B_T=0.1, B_A=0.2 and B_O=0.2 on
+	// t2 gives sort weight 0.5. We verify the DESIGN.md accounting: edge
+	// Benefit = 0.3, vertex folds in for sorting only.
+	g := erg.MustNew([]dataset.TupleID{1, 2})
+	if err := g.AddEdge(erg.Edge{A: 1, B: 2, Benefit: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetRepair(erg.VertexRepair{ID: 2, Kind: erg.Outlier, Benefit: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.EdgeSortWeight(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("sort weight = %v, want 0.5 (Example 5)", got)
+	}
+	if got := g.SubgraphBenefit([]dataset.TupleID{1, 2}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CQG benefit = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,53 @@
+package cqgselect
+
+import (
+	"math/rand"
+	"sort"
+
+	"visclean/internal/dataset"
+	"visclean/internal/erg"
+)
+
+// Random selects a random connected k-subgraph (the paper's Random
+// baseline): a uniformly random start vertex grown by repeatedly adding a
+// uniformly random frontier neighbour. Deterministic given rng's seed.
+func Random(g *erg.Graph, k int, rng *rand.Rand) Result {
+	verts := g.Vertices()
+	if len(verts) == 0 {
+		return Result{}
+	}
+	if k > len(verts) {
+		k = len(verts)
+	}
+	if k < 1 {
+		k = 1
+	}
+	start := verts[rng.Intn(len(verts))]
+	set := map[dataset.TupleID]struct{}{start: {}}
+	frontier := []dataset.TupleID{}
+	push := func(v dataset.TupleID) {
+		for _, nb := range g.Neighbors(v) {
+			if _, in := set[nb]; in {
+				continue
+			}
+			frontier = append(frontier, nb)
+		}
+	}
+	push(start)
+	for len(set) < k && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		v := frontier[i]
+		frontier = append(frontier[:i], frontier[i+1:]...)
+		if _, in := set[v]; in {
+			continue
+		}
+		set[v] = struct{}{}
+		push(v)
+	}
+	out := make([]dataset.TupleID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return Result{Vertices: out, Benefit: g.SubgraphBenefit(out)}
+}

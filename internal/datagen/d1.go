@@ -1,0 +1,120 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+
+	"visclean/internal/dataset"
+)
+
+// d1Entity is one distinct paper.
+type d1Entity struct {
+	title       string
+	authors     string
+	affiliation string
+	venue       string
+	year        int
+	citations   float64
+}
+
+// D1 generates the DB Papers dataset: publications crawled from six
+// simulated sources with venue/affiliation spelling variants, duplicate
+// records, missing citation counts (15.1%) and decimal-shift outliers
+// (1.1%). Schema: Title, Authors, Affiliation, Venue, Year, Citations.
+func D1(cfg Config) *Dataset {
+	g := newGen(cfg.Seed)
+	numEntities := scaledCount(13915, cfg.Scale, 40)
+
+	g.registerPool("Venue", venuePool)
+	g.registerPool("Affiliation", affiliationPool)
+
+	// A shared system-name pool creates realistic titles: most are
+	// unique to one paper, but collisions exist (different papers named
+	// alike), which is what makes some T-questions genuinely uncertain.
+	namePool := make([]string, 0, numEntities/3+20)
+	for i := 0; i < numEntities/3+20; i++ {
+		namePool = append(namePool, g.synthName(2+g.rng.Intn(2)))
+	}
+
+	entities := make([]d1Entity, numEntities)
+	for i := range entities {
+		venue := g.pickWeighted(venuePrestige)
+		year := 1995 + g.rng.Intn(25)
+		name := namePool[g.rng.Intn(len(namePool))]
+		title := fmt.Sprintf("%s: %s %s %s",
+			name,
+			titleWords[g.rng.Intn(len(titleWords))],
+			titleWords[g.rng.Intn(len(titleWords))],
+			titleWords[g.rng.Intn(len(titleWords))])
+		nAuth := 1 + g.rng.Intn(3)
+		var auth []string
+		for a := 0; a < nAuth; a++ {
+			auth = append(auth, firstNames[g.rng.Intn(len(firstNames))]+" "+lastNames[g.rng.Intn(len(lastNames))])
+		}
+		age := float64(2020 - year)
+		cites := venuePrestige[venue] * (5 + age) * (0.5 + 3*g.rng.Float64())
+		entities[i] = d1Entity{
+			title:       title,
+			authors:     strings.Join(auth, ", "),
+			affiliation: g.pickKey(affiliationPool),
+			venue:       venue,
+			year:        year,
+			citations:   round1(cites),
+		}
+	}
+
+	schema := dataset.Schema{
+		{Name: "Title", Kind: dataset.String},
+		{Name: "Authors", Kind: dataset.String},
+		{Name: "Affiliation", Kind: dataset.String},
+		{Name: "Venue", Kind: dataset.String},
+		{Name: "Year", Kind: dataset.Float},
+		{Name: "Citations", Kind: dataset.Float},
+	}
+	dirty := dataset.NewTable(schema)
+	clean := dataset.NewTable(schema)
+
+	const (
+		pMissing = 0.151
+		pOutlier = 0.011
+	)
+	for eid, e := range entities {
+		clean.MustAppend([]dataset.Value{
+			dataset.Str(e.title), dataset.Str(e.authors), dataset.Str(e.affiliation),
+			dataset.Str(e.venue), dataset.Num(float64(e.year)), dataset.Num(e.citations),
+		})
+		// 50,483 / 13,915 ≈ 3.63 copies per entity on average.
+		copies := 1 + g.binomial(5, 0.526)
+		for c := 0; c < copies; c++ {
+			title := e.title
+			if g.rng.Float64() < 0.15 {
+				// One source abbreviates the title to the system name.
+				title = strings.SplitN(e.title, ":", 2)[0]
+			}
+			venue := g.variantOf(e.venue, venuePool, 0.55)
+			if g.rng.Float64() < 0.12 {
+				// Year-suffixed ad-hoc variant, registered on the fly.
+				venue = fmtYearVariant(g, e.venue, e.year)
+				g.registerCanonical("Venue", venue, e.venue)
+			}
+			affiliation := g.variantOf(e.affiliation, affiliationPool, 0.5)
+			cites := g.sourceNoise(e.citations)
+			cell, _, _ := g.corruptMeasure(cites, pMissing, pOutlier)
+
+			id := dirty.MustAppend([]dataset.Value{
+				dataset.Str(title), dataset.Str(e.authors), dataset.Str(affiliation),
+				dataset.Str(venue), dataset.Num(float64(e.year)), cell,
+			})
+			g.truth.Entity[id] = eid
+			g.recordTrueY("Citations", id, e.citations)
+		}
+	}
+	g.truth.Clean = clean
+	return &Dataset{
+		Name:           "D1",
+		Dirty:          dirty,
+		Truth:          g.truth,
+		KeyColumns:     []int{schema.Index("Title")},
+		MeasureColumns: []string{"Citations"},
+	}
+}

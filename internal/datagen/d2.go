@@ -1,0 +1,140 @@
+package datagen
+
+import (
+	"visclean/internal/dataset"
+)
+
+// d2Entity is one distinct NBA player.
+type d2Entity struct {
+	player      string
+	position    string
+	team        string
+	nationality string
+	university  string
+	height      float64
+	weight      float64
+	birthYear   int
+	draftYear   int
+	seasons     float64
+	games       float64
+	points      float64 // career points-per-game average
+	rebounds    float64
+	assists     float64
+	steals      float64
+	blocks      float64
+	salary      float64 // millions
+}
+
+// D2 generates the NBA Players dataset: player records collected from
+// three simulated communities with team/position spelling variants,
+// 8.2% missing and 1.3% outlier measure cells. 17 attributes.
+func D2(cfg Config) *Dataset {
+	g := newGen(cfg.Seed + 2)
+	numEntities := scaledCount(4644, cfg.Scale, 40)
+
+	g.registerPool("Team", teamPool)
+	g.registerPool("Position", positionPool)
+	g.registerPool("Nationality", nationalityPool)
+	g.registerPool("Univ", universityPool)
+
+	surnames := make([]string, 0, numEntities/2+10)
+	for i := 0; i < numEntities/2+10; i++ {
+		surnames = append(surnames, g.synthName(2))
+	}
+
+	entities := make([]d2Entity, numEntities)
+	for i := range entities {
+		pos := g.pickKey(positionPool)
+		birth := 1955 + g.rng.Intn(45)
+		seasons := 1 + g.rng.Intn(18)
+		gamesPerSeason := 40 + g.rng.Float64()*42
+		points := 2 + g.rng.Float64()*28 // per-game average
+		entities[i] = d2Entity{
+			player:      firstNames[g.rng.Intn(len(firstNames))] + " " + surnames[g.rng.Intn(len(surnames))],
+			position:    pos,
+			team:        g.pickKey(teamPool),
+			nationality: g.pickKey(nationalityPool),
+			university:  g.pickKey(universityPool),
+			height:      round1(180 + g.rng.Float64()*40),
+			weight:      round1(70 + g.rng.Float64()*70),
+			birthYear:   birth,
+			draftYear:   birth + 18 + g.rng.Intn(5),
+			seasons:     float64(seasons),
+			games:       round1(float64(seasons) * gamesPerSeason),
+			points:      round1(points),
+			rebounds:    round1(1 + g.rng.Float64()*12),
+			assists:     round1(0.5 + g.rng.Float64()*10),
+			steals:      round1(0.2 + g.rng.Float64()*2.5),
+			blocks:      round1(0.1 + g.rng.Float64()*3),
+			salary:      round1(0.5 + g.rng.Float64()*40),
+		}
+	}
+
+	schema := dataset.Schema{
+		{Name: "Player", Kind: dataset.String},
+		{Name: "Position", Kind: dataset.String},
+		{Name: "Team", Kind: dataset.String},
+		{Name: "Nationality", Kind: dataset.String},
+		{Name: "Univ", Kind: dataset.String},
+		{Name: "Height", Kind: dataset.Float},
+		{Name: "Weight", Kind: dataset.Float},
+		{Name: "BirthYear", Kind: dataset.Float},
+		{Name: "DraftYear", Kind: dataset.Float},
+		{Name: "Seasons", Kind: dataset.Float},
+		{Name: "#Games", Kind: dataset.Float},
+		{Name: "#Points", Kind: dataset.Float},
+		{Name: "#Rebounds", Kind: dataset.Float},
+		{Name: "#Assists", Kind: dataset.Float},
+		{Name: "#Steals", Kind: dataset.Float},
+		{Name: "#Blocks", Kind: dataset.Float},
+		{Name: "Salary", Kind: dataset.Float},
+	}
+	dirty := dataset.NewTable(schema)
+	clean := dataset.NewTable(schema)
+
+	const (
+		pMissing = 0.082
+		pOutlier = 0.013
+	)
+	for eid, e := range entities {
+		cleanRow := []dataset.Value{
+			dataset.Str(e.player), dataset.Str(e.position), dataset.Str(e.team),
+			dataset.Str(e.nationality), dataset.Str(e.university),
+			dataset.Num(e.height), dataset.Num(e.weight),
+			dataset.Num(float64(e.birthYear)), dataset.Num(float64(e.draftYear)),
+			dataset.Num(e.seasons), dataset.Num(e.games), dataset.Num(e.points),
+			dataset.Num(e.rebounds), dataset.Num(e.assists),
+			dataset.Num(e.steals), dataset.Num(e.blocks), dataset.Num(e.salary),
+		}
+		clean.MustAppend(cleanRow)
+		// 13,486 / 4,644 ≈ 2.9 copies.
+		copies := 1 + g.binomial(4, 0.475)
+		for c := 0; c < copies; c++ {
+			pointsCell, _, _ := g.corruptMeasure(g.sourceNoise(e.points), pMissing, pOutlier)
+			gamesCell, _, _ := g.corruptMeasure(g.sourceNoise(e.games), pMissing, pOutlier)
+			id := dirty.MustAppend([]dataset.Value{
+				dataset.Str(e.player),
+				dataset.Str(g.variantOf(e.position, positionPool, 0.4)),
+				dataset.Str(g.variantOf(e.team, teamPool, 0.5)),
+				dataset.Str(g.variantOf(e.nationality, nationalityPool, 0.3)),
+				dataset.Str(g.variantOf(e.university, universityPool, 0.35)),
+				dataset.Num(e.height), dataset.Num(e.weight),
+				dataset.Num(float64(e.birthYear)), dataset.Num(float64(e.draftYear)),
+				dataset.Num(e.seasons), gamesCell, pointsCell,
+				dataset.Num(e.rebounds), dataset.Num(e.assists),
+				dataset.Num(e.steals), dataset.Num(e.blocks), dataset.Num(e.salary),
+			})
+			g.truth.Entity[id] = eid
+			g.recordTrueY("#Points", id, e.points)
+			g.recordTrueY("#Games", id, e.games)
+		}
+	}
+	g.truth.Clean = clean
+	return &Dataset{
+		Name:           "D2",
+		Dirty:          dirty,
+		Truth:          g.truth,
+		KeyColumns:     []int{schema.Index("Player")},
+		MeasureColumns: []string{"#Points", "#Games"},
+	}
+}

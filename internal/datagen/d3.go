@@ -1,0 +1,135 @@
+package datagen
+
+import (
+	"fmt"
+
+	"visclean/internal/dataset"
+)
+
+// d3Entity is one distinct book.
+type d3Entity struct {
+	name       string
+	author     string
+	pubYear    int
+	rating     float64
+	numRatings float64
+	publisher  string
+	language   string
+	pages      float64
+	price      float64
+	edition    float64
+	format     string
+	series     string
+	awards     float64
+	isbn       string
+	cover      string
+	translator string
+	chapters   float64
+}
+
+// D3 generates the Books dataset: ratings collected from two simulated
+// websites with publisher/language spelling variants, 9.2% missing and
+// 2.1% outlier measure cells. 17 attributes.
+func D3(cfg Config) *Dataset {
+	g := newGen(cfg.Seed + 3)
+	numEntities := scaledCount(3702, cfg.Scale, 40)
+
+	g.registerPool("Publ", publisherPool)
+	g.registerPool("Lang", languagePool)
+
+	authorPool := make([]string, 0, numEntities/4+10)
+	for i := 0; i < numEntities/4+10; i++ {
+		authorPool = append(authorPool, firstNames[g.rng.Intn(len(firstNames))]+" "+g.synthName(2+g.rng.Intn(2)))
+	}
+
+	entities := make([]d3Entity, numEntities)
+	for i := range entities {
+		lang := "English"
+		if g.rng.Float64() < 0.2 {
+			lang = g.pickKey(languagePool)
+		}
+		entities[i] = d3Entity{
+			name: fmt.Sprintf("The %s %s",
+				bookWords[g.rng.Intn(len(bookWords))],
+				bookNouns[g.rng.Intn(len(bookNouns))]),
+			author:     authorPool[g.rng.Intn(len(authorPool))],
+			pubYear:    1970 + g.rng.Intn(50),
+			rating:     round1(2.5 + g.rng.Float64()*2.4),
+			numRatings: round1(float64(50 + g.rng.Intn(50000))),
+			publisher:  g.pickKey(publisherPool),
+			language:   lang,
+			pages:      float64(120 + g.rng.Intn(900)),
+			price:      round1(5 + g.rng.Float64()*45),
+			edition:    float64(1 + g.rng.Intn(5)),
+			format:     formatPool[g.rng.Intn(len(formatPool))],
+			series:     []string{"", "", "", "Trilogy", "Saga", "Cycle"}[g.rng.Intn(6)],
+			awards:     float64(g.rng.Intn(4)),
+			isbn:       fmt.Sprintf("978-%09d", g.rng.Intn(1_000_000_000)),
+			cover:      g.synthName(2),
+			translator: "",
+			chapters:   float64(5 + g.rng.Intn(50)),
+		}
+	}
+
+	schema := dataset.Schema{
+		{Name: "Name", Kind: dataset.String},
+		{Name: "Author", Kind: dataset.String},
+		{Name: "PubYear", Kind: dataset.Float},
+		{Name: "Rating", Kind: dataset.Float},
+		{Name: "NumRatings", Kind: dataset.Float},
+		{Name: "Publ", Kind: dataset.String},
+		{Name: "Lang", Kind: dataset.String},
+		{Name: "Pages", Kind: dataset.Float},
+		{Name: "Price", Kind: dataset.Float},
+		{Name: "Edition", Kind: dataset.Float},
+		{Name: "Format", Kind: dataset.String},
+		{Name: "Series", Kind: dataset.String},
+		{Name: "Awards", Kind: dataset.Float},
+		{Name: "ISBN", Kind: dataset.String},
+		{Name: "Cover", Kind: dataset.String},
+		{Name: "Translator", Kind: dataset.String},
+		{Name: "Chapters", Kind: dataset.Float},
+	}
+	dirty := dataset.NewTable(schema)
+	clean := dataset.NewTable(schema)
+
+	const (
+		pMissing = 0.092
+		pOutlier = 0.021
+	)
+	for eid, e := range entities {
+		clean.MustAppend([]dataset.Value{
+			dataset.Str(e.name), dataset.Str(e.author), dataset.Num(float64(e.pubYear)),
+			dataset.Num(e.rating), dataset.Num(e.numRatings), dataset.Str(e.publisher),
+			dataset.Str(e.language), dataset.Num(e.pages), dataset.Num(e.price),
+			dataset.Num(e.edition), dataset.Str(e.format), dataset.Str(e.series),
+			dataset.Num(e.awards), dataset.Str(e.isbn), dataset.Str(e.cover),
+			dataset.Str(e.translator), dataset.Num(e.chapters),
+		})
+		// 7,676 / 3,702 ≈ 2.07 copies.
+		copies := 1 + g.binomial(3, 0.357)
+		for c := 0; c < copies; c++ {
+			ratingCell, _, _ := g.corruptMeasure(e.rating, pMissing, pOutlier)
+			id := dirty.MustAppend([]dataset.Value{
+				dataset.Str(e.name), dataset.Str(e.author), dataset.Num(float64(e.pubYear)),
+				ratingCell, dataset.Num(g.sourceNoise(e.numRatings)),
+				dataset.Str(g.variantOf(e.publisher, publisherPool, 0.5)),
+				dataset.Str(g.variantOf(e.language, languagePool, 0.4)),
+				dataset.Num(e.pages), dataset.Num(e.price),
+				dataset.Num(e.edition), dataset.Str(e.format), dataset.Str(e.series),
+				dataset.Num(e.awards), dataset.Str(e.isbn), dataset.Str(e.cover),
+				dataset.Str(e.translator), dataset.Num(e.chapters),
+			})
+			g.truth.Entity[id] = eid
+			g.recordTrueY("Rating", id, e.rating)
+		}
+	}
+	g.truth.Clean = clean
+	return &Dataset{
+		Name:           "D3",
+		Dirty:          dirty,
+		Truth:          g.truth,
+		KeyColumns:     []int{schema.Index("Name"), schema.Index("ISBN")},
+		MeasureColumns: []string{"Rating"},
+	}
+}

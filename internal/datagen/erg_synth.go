@@ -1,0 +1,50 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"visclean/internal/dataset"
+	"visclean/internal/erg"
+)
+
+// SyntheticERG builds a random ERG with the requested number of edges for
+// the CQG-selection efficiency experiments (Fig 17), where the paper
+// varies #-edges from 5,000 to 40,000 independently of any dataset.
+// Vertices number numEdges/3 (average degree 6); edge weights are uniform
+// in (0,1) and stored as both the T-question probability and the benefit.
+func SyntheticERG(numEdges int, seed int64) *erg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	numVertices := numEdges/3 + 2
+	vertices := make([]dataset.TupleID, numVertices)
+	for i := range vertices {
+		vertices[i] = dataset.TupleID(i)
+	}
+	g := erg.MustNew(vertices)
+
+	seen := make(map[[2]int]struct{}, numEdges)
+	added := 0
+	for added < numEdges {
+		a := rng.Intn(numVertices)
+		b := rng.Intn(numVertices)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		w := rng.Float64()
+		if err := g.AddEdge(erg.Edge{
+			A: vertices[a], B: vertices[b],
+			HasT: true, PT: w, Benefit: w,
+		}); err != nil {
+			continue
+		}
+		added++
+	}
+	return g
+}

@@ -1,0 +1,163 @@
+package datagen
+
+// Vocabulary pools for the synthetic datasets. Canonical values map to
+// their dirty variants; the generators register every variant they emit
+// in the ground truth's canonical map.
+
+// venuePool mirrors D1's database venues. Variants follow the paper's
+// examples: "ACM SIGMOD", "SIGMOD Conf.", "SIGMOD'13" all denote SIGMOD.
+var venuePool = map[string][]string{
+	"SIGMOD": {"ACM SIGMOD", "SIGMOD Conf.", "SIGMOD Conference", "Proc. SIGMOD", "In SIGMOD"},
+	"VLDB":   {"PVLDB", "Very Large Data Bases", "Proc. VLDB", "VLDB Endowment"},
+	"ICDE":   {"IEEE ICDE", "ICDE Conf.", "Intl. Conf. on Data Engineering", "IEEE ICDE Conf."},
+	"PODS":   {"ACM PODS", "In Pods", "PODS Symp."},
+	"KDD":    {"ACM KDD", "SIGKDD", "KDD Conf."},
+	"CIKM":   {"ACM CIKM", "CIKM Conf."},
+	"EDBT":   {"EDBT Conf.", "Intl. Conf. EDBT"},
+	"ICDT":   {"ICDT Conf.", "Intl. Conf. ICDT"},
+	"TKDE":   {"IEEE TKDE", "Trans. Knowl. Data Eng."},
+	"VLDBJ":  {"VLDB Journal", "The VLDB Journal"},
+	"SIGIR":  {"ACM SIGIR", "SIGIR Conf."},
+	"WWW":    {"The Web Conf.", "WWW Conf."},
+	"WSDM":   {"ACM WSDM"},
+	"DASFAA": {"DASFAA Conf."},
+	"SSDBM":  {"SSDBM Conf."},
+}
+
+// venuePrestige weights citation counts so top venues dominate the Q1
+// bar chart the way they do in the paper's Fig 10.
+var venuePrestige = map[string]float64{
+	"SIGMOD": 10, "VLDB": 9.5, "ICDE": 8, "PODS": 7, "KDD": 9,
+	"CIKM": 5, "EDBT": 4.5, "ICDT": 4, "TKDE": 6, "VLDBJ": 5.5,
+	"SIGIR": 6.5, "WWW": 7.5, "WSDM": 5, "DASFAA": 3, "SSDBM": 2.5,
+}
+
+// affiliationPool gives each canonical affiliation its spelling variants.
+var affiliationPool = map[string][]string{
+	"Tsinghua":  {"THU", "Tsinghua Univ.", "Tsinghua University"},
+	"QCRI":      {"QCRI, HBKU", "QCRI HBKU", "Qatar Computing Research Inst."},
+	"Microsoft": {"MSR", "Microsoft Research", "Microsoft Corp."},
+	"Stanford":  {"Stanford Univ.", "Stanford University"},
+	"NUS":       {"CS@NUS", "National Univ. of Singapore"},
+	"MIT":       {"MIT CSAIL", "Mass. Inst. of Technology"},
+	"Berkeley":  {"UC Berkeley", "Univ. of California, Berkeley"},
+	"CMU":       {"Carnegie Mellon", "Carnegie Mellon Univ."},
+	"ETH":       {"ETH Zurich", "ETH Zürich"},
+	"HKUST":     {"Hong Kong UST", "HK Univ. of Science and Technology"},
+}
+
+// titleWords builds synthetic paper titles.
+var titleWords = []string{
+	"Adaptive", "Scalable", "Efficient", "Interactive", "Progressive",
+	"Distributed", "Incremental", "Robust", "Approximate", "Learned",
+	"Query", "Index", "Join", "Cleaning", "Visualization", "Sampling",
+	"Stream", "Graph", "Transaction", "Storage", "Crowdsourcing",
+	"Entity", "Matching", "Repair", "Detection", "Optimization",
+	"Processing", "Analytics", "Exploration", "Integration", "Search",
+}
+
+var systemNames = []string{
+	"Nadir", "KuaLin", "TsingFlow", "SeeQL", "Elapse", "DeepVis",
+	"CleanX", "VizOne", "DataForge", "QuickER", "TupleNet", "ChartIQ",
+	"FlowDB", "MergeKit", "SpotDirt", "RankEye", "BlinkSum", "CrowdFix",
+}
+
+var firstNames = []string{
+	"Wei", "Li", "Yang", "Chen", "Ana", "John", "Maria", "Sam", "Noor",
+	"Ivan", "Elena", "Raj", "Yuki", "Omar", "Lucia", "Peter", "Amira",
+}
+
+var lastNames = []string{
+	"Wang", "Li", "Zhang", "Chen", "Smith", "Garcia", "Kumar", "Tanaka",
+	"Mueller", "Rossi", "Kim", "Chai", "Tang", "Luo", "Qin", "Ivanov",
+}
+
+// teamPool mirrors D2's NBA teams with community-specific spellings.
+var teamPool = map[string][]string{
+	"Lakers":        {"LA Lakers", "Los Angeles Lakers", "L.A. Lakers"},
+	"Celtics":       {"Boston Celtics", "BOS Celtics"},
+	"Warriors":      {"Golden State Warriors", "GS Warriors", "GSW"},
+	"Bulls":         {"Chicago Bulls", "CHI Bulls"},
+	"Spurs":         {"San Antonio Spurs", "SA Spurs"},
+	"Heat":          {"Miami Heat", "MIA Heat"},
+	"Knicks":        {"New York Knicks", "NY Knicks"},
+	"Rockets":       {"Houston Rockets", "HOU Rockets"},
+	"Mavericks":     {"Dallas Mavericks", "Dallas Mavs", "DAL Mavericks"},
+	"Suns":          {"Phoenix Suns", "PHX Suns"},
+	"Bucks":         {"Milwaukee Bucks", "MIL Bucks"},
+	"Nuggets":       {"Denver Nuggets", "DEN Nuggets"},
+	"Raptors":       {"Toronto Raptors", "TOR Raptors"},
+	"Jazz":          {"Utah Jazz", "UTA Jazz"},
+	"Clippers":      {"LA Clippers", "Los Angeles Clippers"},
+	"Sixers":        {"Philadelphia 76ers", "PHI 76ers", "76ers"},
+	"Trail Blazers": {"Portland Trail Blazers", "POR Blazers"},
+	"Thunder":       {"Oklahoma City Thunder", "OKC Thunder"},
+	"Grizzlies":     {"Memphis Grizzlies", "MEM Grizzlies"},
+	"Hawks":         {"Atlanta Hawks", "ATL Hawks"},
+}
+
+var positionPool = map[string][]string{
+	"Guard":   {"G", "Point Guard", "Shooting Guard"},
+	"Forward": {"F", "Small Forward", "Power Forward"},
+	"Center":  {"C", "Ctr."},
+}
+
+var nationalityPool = map[string][]string{
+	"USA":       {"United States", "U.S.A."},
+	"Spain":     {"ESP"},
+	"France":    {"FRA"},
+	"Canada":    {"CAN"},
+	"Australia": {"AUS"},
+	"Serbia":    {"SRB"},
+	"Greece":    {"GRE"},
+	"Nigeria":   {"NGA"},
+}
+
+var universityPool = map[string][]string{
+	"Duke":     {"Duke Univ.", "Duke University"},
+	"Kentucky": {"Univ. of Kentucky", "UK"},
+	"UCLA":     {"Univ. of California LA"},
+	"Kansas":   {"Univ. of Kansas", "KU"},
+	"UNC":      {"North Carolina", "Univ. of North Carolina"},
+	"Gonzaga":  {"Gonzaga Univ."},
+	"Arizona":  {"Univ. of Arizona"},
+	"None":     {"N/A (international)", "no college"},
+}
+
+// publisherPool mirrors D3's book publishers.
+var publisherPool = map[string][]string{
+	"Penguin":       {"Penguin Books", "Penguin Press", "Penguin Random House"},
+	"HarperCollins": {"Harper Collins", "Harper", "HarperCollins Publ."},
+	"Macmillan":     {"Macmillan Publ.", "Pan Macmillan"},
+	"Hachette":      {"Hachette Book Group", "Hachette Livre"},
+	"Scholastic":    {"Scholastic Inc.", "Scholastic Press"},
+	"Vintage":       {"Vintage Books", "Vintage Press"},
+	"Bloomsbury":    {"Bloomsbury Publ.", "Bloomsbury Press"},
+	"Tor":           {"Tor Books", "Tor/Forge"},
+	"Bantam":        {"Bantam Books", "Bantam Press"},
+	"Anchor":        {"Anchor Books"},
+	"Orbit":         {"Orbit Books"},
+	"Knopf":         {"Alfred A. Knopf", "Knopf Doubleday"},
+}
+
+var languagePool = map[string][]string{
+	"English": {"english", "ENG", "English (US)", "en-US"},
+	"Spanish": {"spanish", "SPA", "Español"},
+	"French":  {"french", "FRE"},
+	"German":  {"german", "GER"},
+}
+
+var bookWords = []string{
+	"Shadow", "River", "Night", "Garden", "Secret", "Last", "Silent",
+	"Winter", "Crimson", "Lost", "Golden", "Broken", "Hidden", "Iron",
+	"Glass", "Storm", "Ember", "Hollow", "Silver", "Wild", "Paper",
+	"Crown", "Ash", "Thorn", "Echo", "Salt", "Bright", "Forgotten",
+}
+
+var bookNouns = []string{
+	"Kingdom", "Daughter", "House", "Song", "Road", "City", "Letter",
+	"Promise", "Library", "Map", "Ocean", "Key", "Door", "Year",
+	"Truth", "Garden", "Game", "Thief", "Witness", "Orchard",
+}
+
+var formatPool = []string{"Hardcover", "Paperback", "Ebook", "Audiobook"}

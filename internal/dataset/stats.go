@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+)
+
+// ColumnStats summarizes one column: null rate for any kind, plus moments
+// and order statistics for numeric columns. The generators use it to
+// verify that synthetic datasets hit the paper's Table IV error rates.
+type ColumnStats struct {
+	Name     string
+	Kind     Kind
+	Rows     int
+	Nulls    int
+	Distinct int
+	// The fields below are meaningful only for Float columns.
+	Min, Max, Mean, Stddev, Median float64
+}
+
+// NullRate returns the fraction of null cells.
+func (s ColumnStats) NullRate() float64 {
+	if s.Rows == 0 {
+		return 0
+	}
+	return float64(s.Nulls) / float64(s.Rows)
+}
+
+// Stats computes ColumnStats for the column at index c.
+func (t *Table) Stats(c int) ColumnStats {
+	s := ColumnStats{Name: t.schema[c].Name, Kind: t.schema[c].Kind, Rows: len(t.rows)}
+	distinct := make(map[string]struct{})
+	var nums []float64
+	for i := range t.rows {
+		v := t.rows[i][c]
+		if v.IsNull() {
+			s.Nulls++
+			continue
+		}
+		distinct[v.String()] = struct{}{}
+		if f, ok := v.Float(); ok {
+			nums = append(nums, f)
+		}
+	}
+	s.Distinct = len(distinct)
+	if len(nums) == 0 {
+		return s
+	}
+	sort.Float64s(nums)
+	s.Min, s.Max = nums[0], nums[len(nums)-1]
+	var sum float64
+	for _, f := range nums {
+		sum += f
+	}
+	s.Mean = sum / float64(len(nums))
+	var ss float64
+	for _, f := range nums {
+		d := f - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(len(nums)))
+	mid := len(nums) / 2
+	if len(nums)%2 == 1 {
+		s.Median = nums[mid]
+	} else {
+		s.Median = (nums[mid-1] + nums[mid]) / 2
+	}
+	return s
+}
+
+// DistinctStrings returns the distinct non-null string values of column c
+// with their frequencies. The attribute-duplicate detector iterates over
+// this instead of raw rows.
+func (t *Table) DistinctStrings(c int) map[string]int {
+	out := make(map[string]int)
+	for i := range t.rows {
+		if s, ok := t.rows[i][c].Text(); ok {
+			out[s]++
+		}
+	}
+	return out
+}
+
+// NumericColumn extracts the non-null values of a Float column together
+// with their tuple ids, in row order.
+func (t *Table) NumericColumn(c int) (vals []float64, ids []TupleID) {
+	for i := range t.rows {
+		if f, ok := t.rows[i][c].Float(); ok {
+			vals = append(vals, f)
+			ids = append(ids, t.ids[i])
+		}
+	}
+	return vals, ids
+}
+
+// MissingIDs returns the tuple ids whose cell in column c is null.
+func (t *Table) MissingIDs(c int) []TupleID {
+	var out []TupleID
+	for i := range t.rows {
+		if t.rows[i][c].IsNull() {
+			out = append(out, t.ids[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns with unique names.
+type Schema []Column
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks that column names are non-empty and unique.
+func (s Schema) Validate() error {
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if c.Name == "" {
+			return fmt.Errorf("dataset: schema has empty column name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("dataset: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// TupleID identifies a tuple for the lifetime of a Table and all tables
+// derived from it (clones, filtered views). IDs are assigned once at
+// insertion and survive row reordering, so the ERG, the oracle's ground
+// truth and the cleaning models can all refer to the same tuple.
+type TupleID int
+
+// Table is an in-memory relation. It is not safe for concurrent mutation;
+// the pipeline clones tables before hypothetical repairs.
+type Table struct {
+	schema Schema
+	rows   [][]Value
+	ids    []TupleID
+	nextID TupleID
+	byID   map[TupleID]int // row index by tuple id; lazily rebuilt
+}
+
+// NewTable creates an empty table. It panics on an invalid schema, which
+// always indicates a programming error rather than bad input data.
+func NewTable(schema Schema) *Table {
+	if err := schema.Validate(); err != nil {
+		panic(err)
+	}
+	return &Table{schema: schema.Clone(), byID: map[TupleID]int{}}
+}
+
+// Schema returns the table's schema. Callers must not mutate it.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// NumCols returns the number of attributes.
+func (t *Table) NumCols() int { return len(t.schema) }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int { return t.schema.Index(name) }
+
+// Append adds a tuple and returns its new TupleID. The row is copied.
+func (t *Table) Append(row []Value) (TupleID, error) {
+	if len(row) != len(t.schema) {
+		return 0, fmt.Errorf("dataset: row has %d cells, schema has %d columns", len(row), len(t.schema))
+	}
+	for i, v := range row {
+		if v.Kind() != t.schema[i].Kind {
+			return 0, fmt.Errorf("dataset: column %q expects %v, got %v", t.schema[i].Name, t.schema[i].Kind, v.Kind())
+		}
+	}
+	id := t.nextID
+	t.nextID++
+	cp := make([]Value, len(row))
+	copy(cp, row)
+	t.rows = append(t.rows, cp)
+	t.ids = append(t.ids, id)
+	t.byID[id] = len(t.rows) - 1
+	return id, nil
+}
+
+// MustAppend is Append for statically known-good rows (tests, generators).
+func (t *Table) MustAppend(row []Value) TupleID {
+	id, err := t.Append(row)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// IDs returns the tuple ids in row order. Callers must not mutate it.
+func (t *Table) IDs() []TupleID { return t.ids }
+
+// ID returns the tuple id of the i-th row.
+func (t *Table) ID(i int) TupleID { return t.ids[i] }
+
+// RowIndex returns the current row position of a tuple id.
+func (t *Table) RowIndex(id TupleID) (int, bool) {
+	i, ok := t.byID[id]
+	return i, ok
+}
+
+// Row returns the i-th row. Callers must not mutate the returned slice;
+// use Set for updates so derived state stays consistent.
+func (t *Table) Row(i int) []Value { return t.rows[i] }
+
+// RowByID returns the row for a tuple id.
+func (t *Table) RowByID(id TupleID) ([]Value, bool) {
+	i, ok := t.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[i], true
+}
+
+// Get returns the cell at row i, column c.
+func (t *Table) Get(i, c int) Value { return t.rows[i][c] }
+
+// GetByID returns the cell for a tuple id and column index.
+func (t *Table) GetByID(id TupleID, c int) (Value, bool) {
+	i, ok := t.byID[id]
+	if !ok {
+		return Value{}, false
+	}
+	return t.rows[i][c], true
+}
+
+// Set replaces the cell at row i, column c, enforcing the column kind.
+func (t *Table) Set(i, c int, v Value) error {
+	if v.Kind() != t.schema[c].Kind {
+		return fmt.Errorf("dataset: column %q expects %v, got %v", t.schema[c].Name, t.schema[c].Kind, v.Kind())
+	}
+	t.rows[i][c] = v
+	return nil
+}
+
+// SetByID replaces a cell addressed by tuple id.
+func (t *Table) SetByID(id TupleID, c int, v Value) error {
+	i, ok := t.byID[id]
+	if !ok {
+		return fmt.Errorf("dataset: no tuple with id %d", id)
+	}
+	return t.Set(i, c, v)
+}
+
+// DeleteByID removes a tuple. Row order of the survivors is preserved.
+func (t *Table) DeleteByID(id TupleID) bool {
+	i, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	t.rows = append(t.rows[:i], t.rows[i+1:]...)
+	t.ids = append(t.ids[:i], t.ids[i+1:]...)
+	delete(t.byID, id)
+	for j := i; j < len(t.ids); j++ {
+		t.byID[t.ids[j]] = j
+	}
+	return true
+}
+
+// Clone returns a deep copy sharing nothing with the receiver. Tuple ids
+// are preserved, so a clone can be repaired hypothetically and compared
+// against the original tuple-by-tuple.
+func (t *Table) Clone() *Table {
+	cp := &Table{
+		schema: t.schema.Clone(),
+		rows:   make([][]Value, len(t.rows)),
+		ids:    make([]TupleID, len(t.ids)),
+		nextID: t.nextID,
+		byID:   make(map[TupleID]int, len(t.byID)),
+	}
+	for i, r := range t.rows {
+		row := make([]Value, len(r))
+		copy(row, r)
+		cp.rows[i] = row
+	}
+	copy(cp.ids, t.ids)
+	for id, i := range t.byID {
+		cp.byID[id] = i
+	}
+	return cp
+}
+
+// Filter returns a new table containing the rows for which keep returns
+// true. Tuple ids are preserved.
+func (t *Table) Filter(keep func(row []Value) bool) *Table {
+	out := NewTable(t.schema)
+	out.nextID = t.nextID
+	for i, r := range t.rows {
+		if !keep(r) {
+			continue
+		}
+		row := make([]Value, len(r))
+		copy(row, r)
+		out.rows = append(out.rows, row)
+		out.ids = append(out.ids, t.ids[i])
+		out.byID[t.ids[i]] = len(out.rows) - 1
+	}
+	return out
+}
+
+// SortBy stably sorts rows by the given column, ascending unless desc.
+func (t *Table) SortBy(col int, desc bool) {
+	idx := make([]int, len(t.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		c := t.rows[idx[a]][col].Compare(t.rows[idx[b]][col])
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	rows := make([][]Value, len(t.rows))
+	ids := make([]TupleID, len(t.ids))
+	for to, from := range idx {
+		rows[to] = t.rows[from]
+		ids[to] = t.ids[from]
+	}
+	t.rows, t.ids = rows, ids
+	for i, id := range t.ids {
+		t.byID[id] = i
+	}
+}
+
+// ConcatRow joins all cells of a row into one normalized string. The
+// imputation and outlier modules use this as the record-level text for
+// similarity search, following §IV ("concatenate all attributes ... and
+// then utilize the string similarity score").
+func (t *Table) ConcatRow(i int) string {
+	var b strings.Builder
+	for c, v := range t.rows[i] {
+		if c > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// String renders a small table for debugging and examples.
+func (t *Table) String() string {
+	var b strings.Builder
+	for i, c := range t.schema {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(c.Name)
+	}
+	b.WriteByte('\n')
+	for i := range t.rows {
+		for c := range t.schema {
+			if c > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(t.rows[i][c].String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

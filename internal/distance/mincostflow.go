@@ -1,0 +1,126 @@
+// Package distance quantifies the difference between two visualizations
+// (challenge C1 of the paper). The primary function is the Earth Mover's
+// Distance of §II-B (Eq. 1–4), solved exactly as a transportation problem
+// with a successive-shortest-path min-cost-flow solver; Kullback-Leibler,
+// Jensen-Shannon, L1 and L2 alternatives are provided as the paper notes
+// any distance function may be plugged in.
+package distance
+
+import (
+	"math"
+)
+
+// transportation solves the balanced-or-unbalanced transportation problem:
+// move mass from supplies to demands minimizing Σ flow[i][j]*cost[i][j],
+// subject to row sums ≤ supply[i], column sums ≤ demand[j], and total flow
+// = min(Σsupply, Σdemand). It returns the optimal flow matrix.
+//
+// The solver builds a bipartite flow network (source → supplies → demands
+// → sink) and repeatedly augments along the cheapest residual path using
+// Bellman-Ford, which handles the negative reduced costs that appear in
+// residual arcs without needing potentials. Problem sizes here are chart
+// series (tens of points), so the O(F·V·E) bound is irrelevant in
+// practice.
+func transportation(supply, demand []float64, cost [][]float64) [][]float64 {
+	m, n := len(supply), len(demand)
+	flow := make([][]float64, m)
+	for i := range flow {
+		flow[i] = make([]float64, n)
+	}
+	if m == 0 || n == 0 {
+		return flow
+	}
+
+	// Node numbering: 0 = source, 1..m = supplies, m+1..m+n = demands,
+	// m+n+1 = sink.
+	src, sink := 0, m+n+1
+	nodes := m + n + 2
+
+	type edge struct {
+		to, rev int
+		cap     float64
+		cost    float64
+	}
+	graph := make([][]edge, nodes)
+	addEdge := func(u, v int, cap, cost float64) {
+		graph[u] = append(graph[u], edge{to: v, rev: len(graph[v]), cap: cap, cost: cost})
+		graph[v] = append(graph[v], edge{to: u, rev: len(graph[u]) - 1, cap: 0, cost: -cost})
+	}
+	for i := 0; i < m; i++ {
+		if supply[i] > 0 {
+			addEdge(src, 1+i, supply[i], 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if demand[j] > 0 {
+			addEdge(1+m+j, sink, demand[j], 0)
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			addEdge(1+i, 1+m+j, math.Inf(1), cost[i][j])
+		}
+	}
+
+	const eps = 1e-12
+	for {
+		// Bellman-Ford shortest path by cost from src.
+		dist := make([]float64, nodes)
+		prevNode := make([]int, nodes)
+		prevEdge := make([]int, nodes)
+		inQueue := make([]bool, nodes)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevNode[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		inQueue[src] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for ei, e := range graph[u] {
+				if e.cap <= eps {
+					continue
+				}
+				if nd := dist[u] + e.cost; nd < dist[e.to]-eps {
+					dist[e.to] = nd
+					prevNode[e.to] = u
+					prevEdge[e.to] = ei
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[sink], 1) {
+			break // no augmenting path; max flow reached
+		}
+		// Find bottleneck.
+		aug := math.Inf(1)
+		for v := sink; v != src; v = prevNode[v] {
+			e := graph[prevNode[v]][prevEdge[v]]
+			if e.cap < aug {
+				aug = e.cap
+			}
+		}
+		if aug <= eps {
+			break
+		}
+		// Apply augmentation and record flow on supply→demand arcs.
+		for v := sink; v != src; v = prevNode[v] {
+			u := prevNode[v]
+			e := &graph[u][prevEdge[v]]
+			e.cap -= aug
+			graph[v][e.rev].cap += aug
+			if u >= 1 && u <= m && v >= 1+m && v <= m+n {
+				flow[u-1][v-1-m] += aug
+			} else if v >= 1 && v <= m && u >= 1+m && u <= m+n {
+				flow[v-1][u-1-m] -= aug // flow pushed back on residual arc
+			}
+		}
+	}
+	return flow
+}

@@ -1,0 +1,108 @@
+package em
+
+import (
+	"sort"
+
+	"visclean/internal/dataset"
+	"visclean/internal/stringsim"
+)
+
+// Pair is an unordered candidate tuple pair with A < B.
+type Pair struct {
+	A, B dataset.TupleID
+}
+
+// MakePair canonicalizes an unordered pair.
+func MakePair(a, b dataset.TupleID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// BlockingConfig controls candidate generation.
+type BlockingConfig struct {
+	// KeyColumns are the column indices whose tokens form blocking keys.
+	// Tuples sharing any token in any key column become candidates.
+	KeyColumns []int
+	// MaxBlockSize skips tokens shared by more tuples than this (stop
+	// words like "the" or "conference" would otherwise create quadratic
+	// blocks). 0 means DefaultMaxBlockSize.
+	MaxBlockSize int
+}
+
+// DefaultMaxBlockSize bounds the per-token block size.
+const DefaultMaxBlockSize = 120
+
+// Candidates generates the candidate duplicate pairs of a table via token
+// blocking over the configured key columns. The result is deterministic:
+// sorted by (A, B).
+func Candidates(t *dataset.Table, cfg BlockingConfig) []Pair {
+	maxBlock := cfg.MaxBlockSize
+	if maxBlock <= 0 {
+		maxBlock = DefaultMaxBlockSize
+	}
+	keyCols := cfg.KeyColumns
+	if len(keyCols) == 0 {
+		// Default: first string column.
+		for c, col := range t.Schema() {
+			if col.Kind == dataset.String {
+				keyCols = []int{c}
+				break
+			}
+		}
+	}
+
+	blocks := make(map[string][]dataset.TupleID)
+	for i := 0; i < t.NumRows(); i++ {
+		id := t.ID(i)
+		for _, c := range keyCols {
+			s, ok := t.Get(i, c).Text()
+			if !ok {
+				continue
+			}
+			for _, tok := range stringsim.Tokenize(s) {
+				blocks[tok] = append(blocks[tok], id)
+			}
+		}
+	}
+
+	seen := make(map[Pair]struct{})
+	for _, ids := range blocks {
+		if len(ids) > maxBlock || len(ids) < 2 {
+			continue
+		}
+		// Tuples may appear several times in a block (same token in two
+		// key columns); dedupe first.
+		uniq := dedupeIDs(ids)
+		for i := 0; i < len(uniq); i++ {
+			for j := i + 1; j < len(uniq); j++ {
+				seen[MakePair(uniq[i], uniq[j])] = struct{}{}
+			}
+		}
+	}
+	out := make([]Pair, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func dedupeIDs(ids []dataset.TupleID) []dataset.TupleID {
+	set := make(map[dataset.TupleID]struct{}, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if _, dup := set[id]; dup {
+			continue
+		}
+		set[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}

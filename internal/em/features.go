@@ -1,0 +1,139 @@
+// Package em implements the entity-matching subsystem of §IV (Q_T):
+// per-attribute similarity features over tuple pairs, token blocking to
+// keep candidate generation sub-quadratic, a random-forest match
+// probability model, active-learning question generation (uncertain pairs
+// near probability 0.5), and constraint-aware clustering of matches.
+package em
+
+import (
+	"math"
+	"sort"
+
+	"visclean/internal/dataset"
+	"visclean/internal/stringsim"
+)
+
+// FeatureExtractor turns a tuple pair into a fixed-width feature vector.
+// String columns contribute token Jaccard, Jaro-Winkler and an exact-match
+// flag; numeric columns contribute a dispersion-scaled similarity
+// exp(−|a−b| / MAD) plus an agreement flag, where MAD is the column's
+// median absolute deviation. MAD is the right scale: a range-normalized
+// difference is useless on heavy-tailed columns (outliers stretch the
+// range until every pair looks similar) and a relative difference is
+// useless on offset-dominated columns like years (every pair looks
+// identical). Null cells yield neutral 0.5 features so missing values
+// neither force nor forbid a match.
+type FeatureExtractor struct {
+	schema dataset.Schema
+	scale  []float64 // per column: MAD for Float columns (>= 1), else 0
+}
+
+// NewFeatureExtractor scans the table once to learn per-column scales.
+func NewFeatureExtractor(t *dataset.Table) *FeatureExtractor {
+	fe := &FeatureExtractor{schema: t.Schema()}
+	fe.scale = make([]float64, t.NumCols())
+	for c := 0; c < t.NumCols(); c++ {
+		if fe.schema[c].Kind != dataset.Float {
+			continue
+		}
+		fe.scale[c] = madOf(t, c)
+	}
+	return fe
+}
+
+// madOf computes the median absolute deviation of a Float column,
+// clamped to at least 1 so degenerate columns don't divide by zero.
+func madOf(t *dataset.Table, c int) float64 {
+	vals, _ := t.NumericColumn(c)
+	if len(vals) == 0 {
+		return 1
+	}
+	med := medianFloat(vals)
+	devs := make([]float64, len(vals))
+	for i, v := range vals {
+		d := v - med
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = d
+	}
+	mad := medianFloat(devs)
+	if mad < 1 {
+		mad = 1
+	}
+	return mad
+}
+
+func medianFloat(vals []float64) float64 {
+	cp := append([]float64(nil), vals...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// Width reports the feature vector length.
+func (fe *FeatureExtractor) Width() int {
+	w := 0
+	for _, c := range fe.schema {
+		if c.Kind == dataset.String {
+			w += 3
+		} else {
+			w += 2
+		}
+	}
+	return w
+}
+
+// Features computes the feature vector for tuple rows a and b of t, which
+// must have the extractor's schema.
+func (fe *FeatureExtractor) Features(t *dataset.Table, a, b dataset.TupleID) []float64 {
+	ra, okA := t.RowByID(a)
+	rb, okB := t.RowByID(b)
+	out := make([]float64, 0, fe.Width())
+	if !okA || !okB {
+		// A vanished tuple (merged away) matches nothing; emit the most
+		// dissimilar vector rather than panicking so stale questions
+		// degrade gracefully.
+		for range fe.schema {
+			out = append(out, 0, 0)
+		}
+		return out[:fe.Width()]
+	}
+	for c, col := range fe.schema {
+		va, vb := ra[c], rb[c]
+		if col.Kind == dataset.String {
+			sa, okSA := va.Text()
+			sb, okSB := vb.Text()
+			if !okSA || !okSB {
+				out = append(out, 0.5, 0.5, 0.5)
+				continue
+			}
+			exact := 0.0
+			if sa == sb {
+				exact = 1.0
+			}
+			out = append(out, stringsim.Jaccard(sa, sb), stringsim.JaroWinkler(sa, sb), exact)
+		} else {
+			fa, okFA := va.Float()
+			fb, okFB := vb.Float()
+			if !okFA || !okFB {
+				out = append(out, 0.5, 0.5)
+				continue
+			}
+			diff := fa - fb
+			if diff < 0 {
+				diff = -diff
+			}
+			sim := math.Exp(-diff / fe.scale[c])
+			agree := 0.0
+			if fa == fb {
+				agree = 1.0
+			}
+			out = append(out, sim, agree)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package em
+
+// UnionFind is a disjoint-set forest with union by size and path
+// compression, keyed by dense integer indices.
+type UnionFind struct {
+	parent []int
+	size   []int
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the set representative of x.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning the new representative.
+func (uf *UnionFind) Union(a, b int) int {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	return ra
+}
+
+// Same reports whether a and b share a set.
+func (uf *UnionFind) Same(a, b int) bool { return uf.Find(a) == uf.Find(b) }
+
+// SetSize returns the size of x's set.
+func (uf *UnionFind) SetSize(x int) int { return uf.size[uf.Find(x)] }
+
+// Groups returns the sets with at least minSize members, each sorted, the
+// whole list sorted by first member — fully deterministic.
+func (uf *UnionFind) Groups(minSize int) [][]int {
+	byRoot := make(map[int][]int)
+	for i := range uf.parent {
+		r := uf.Find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	var out [][]int
+	for _, members := range byRoot {
+		if len(members) >= minSize {
+			out = append(out, members) // members are appended in index order
+		}
+	}
+	sortGroups(out)
+	return out
+}
+
+func sortGroups(groups [][]int) {
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j][0] < groups[j-1][0]; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// AblationVariant names one configuration of the ablation study over the
+// design choices DESIGN.md documents on top of the paper's pseudocode.
+type AblationVariant struct {
+	Name string
+	Opts RunOptions
+}
+
+// AblationVariants is the studied grid.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "full", Opts: RunOptions{}},
+		{Name: "-generalize", Opts: RunOptions{NoGeneralization: true}},
+		{Name: "-hysteresis", Opts: RunOptions{NoHysteresis: true}},
+		{Name: "-both", Opts: RunOptions{NoGeneralization: true, NoHysteresis: true}},
+	}
+}
+
+// Ablation runs the variants on one task and reports initial/final
+// distances, quantifying what transformation-rule generalization and
+// merge hysteresis contribute to convergence.
+func Ablation(env *Env, taskID string) (string, map[string]Curve, error) {
+	env.Dataset(mustTask(taskID).Dataset)
+	variants := AblationVariants()
+	curves := make([]Curve, len(variants))
+	errs := make([]error, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v AblationVariant) {
+			defer wg.Done()
+			curves[i], errs[i] = RunTask(env, taskID, v.Opts)
+		}(i, v)
+	}
+	wg.Wait()
+	out := map[string]Curve{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation (%s): GSS, k=10, budget=15\n", taskID)
+	fmt.Fprintf(&b, "%-14s %10s %10s\n", "variant", "initial", "final")
+	for i, v := range variants {
+		if errs[i] != nil {
+			return "", nil, errs[i]
+		}
+		out[v.Name] = curves[i]
+		fmt.Fprintf(&b, "%-14s %10.5f %10.5f\n", v.Name, curves[i].InitialDist, curves[i].FinalDist())
+	}
+	return b.String(), out, nil
+}

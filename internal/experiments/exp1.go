@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"visclean/internal/render"
+)
+
+// Exp1Progress reproduces Figs 10–12: the visualization improvement
+// progression of one task under GSS (k=10), with chart snapshots at
+// iterations 0, 5, 10 and 15 plus the ground-truth chart, and the EMD of
+// each snapshot. Fig 10 uses Q1, Fig 11 uses Q7, Fig 12 uses Q8.
+func Exp1Progress(env *Env, taskID string) (string, Curve, error) {
+	curve, err := RunTask(env, taskID, RunOptions{}, 0, 5, 10, 15)
+	if err != nil {
+		return "", curve, err
+	}
+	_, d, q, err := env.Materialize(taskID)
+	if err != nil {
+		return "", curve, err
+	}
+	truthVis, err := q.Execute(d.Truth.Clean)
+	if err != nil {
+		return "", curve, err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Exp-1 progression for %s (%s)\n", taskID, q.String())
+	iters := make([]int, 0, len(curve.Snapshots))
+	for it := range curve.Snapshots {
+		iters = append(iters, it)
+	}
+	sort.Ints(iters)
+	for _, it := range iters {
+		dist := curve.InitialDist
+		if it > 0 && it-1 < len(curve.Dists) {
+			dist = curve.Dists[it-1]
+		}
+		fmt.Fprintf(&b, "\n-- after %d CQG questions: EMD to ground truth = %.5f --\n", it, dist)
+		b.WriteString(render.Chart(curve.Snapshots[it], 40))
+	}
+	fmt.Fprintf(&b, "\n-- ground truth --\n")
+	b.WriteString(render.Chart(truthVis, 40))
+	return b.String(), curve, nil
+}
+
+// Exp1Curves reproduces Fig 13: EMD versus iteration count for
+// representative tasks of each dataset under GSS.
+func Exp1Curves(env *Env, taskIDs []string) (string, []Curve, error) {
+	var curves []Curve
+	for _, id := range taskIDs {
+		c, err := RunTask(env, id, RunOptions{})
+		if err != nil {
+			return "", nil, err
+		}
+		curves = append(curves, c)
+	}
+	return FormatCurveTable("Fig 13: EMD vs. #-iterations (GSS, k=10, budget=15)", curves), curves, nil
+}

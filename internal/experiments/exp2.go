@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"visclean/internal/pipeline"
+)
+
+// Exp2Selectors holds the algorithm set compared in Fig 14.
+var Exp2Selectors = []pipeline.SelectorKind{
+	pipeline.SelectGSS,
+	pipeline.SelectGSSPlus,
+	pipeline.SelectBB,
+	pipeline.SelectAlphaBB, // the 5-B&B baseline
+	pipeline.SelectSingle,
+	pipeline.SelectRandom,
+}
+
+// Exp2Effectiveness reproduces Fig 14: EMD vs. iteration for every
+// selection algorithm on one task per dataset. Runs are independent
+// (each session clones the dataset), so selectors execute in parallel.
+func Exp2Effectiveness(env *Env, taskIDs []string) (string, map[string][]Curve, error) {
+	out := map[string][]Curve{}
+	var b strings.Builder
+	for _, id := range taskIDs {
+		env.Dataset(mustTask(id).Dataset) // generate once before fan-out
+		curves := make([]Curve, len(Exp2Selectors))
+		errs := make([]error, len(Exp2Selectors))
+		var wg sync.WaitGroup
+		for i, sel := range Exp2Selectors {
+			wg.Add(1)
+			go func(i int, sel pipeline.SelectorKind) {
+				defer wg.Done()
+				curves[i], errs[i] = RunTask(env, id, RunOptions{Selector: sel})
+			}(i, sel)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return "", nil, fmt.Errorf("%s/%s: %w", id, Exp2Selectors[i], err)
+			}
+		}
+		out[id] = curves
+		b.WriteString(FormatCurveTable(fmt.Sprintf("Fig 14 (%s): EMD vs. #-iterations per selector", id), curves))
+		b.WriteByte('\n')
+	}
+	return b.String(), out, nil
+}
+
+func mustTask(id string) Task {
+	t, err := TaskByID(id)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Exp2UserTime reproduces Figs 15 and 16: per-iteration cumulative user
+// seconds (composite vs. single) and EMD as a function of user time.
+func Exp2UserTime(env *Env, taskIDs []string) (string, map[string][2]Curve, error) {
+	out := map[string][2]Curve{}
+	var b strings.Builder
+	for _, id := range taskIDs {
+		comp, err := RunTask(env, id, RunOptions{Selector: pipeline.SelectGSS})
+		if err != nil {
+			return "", nil, err
+		}
+		single, err := RunTask(env, id, RunOptions{Selector: pipeline.SelectSingle})
+		if err != nil {
+			return "", nil, err
+		}
+		out[id] = [2]Curve{comp, single}
+
+		fmt.Fprintf(&b, "Fig 15 (%s): cumulative user seconds per iteration\n", id)
+		fmt.Fprintf(&b, "%-10s", "iteration")
+		n := len(comp.UserSeconds)
+		if len(single.UserSeconds) > n {
+			n = len(single.UserSeconds)
+		}
+		for i := 1; i <= n; i++ {
+			fmt.Fprintf(&b, " %8d", i)
+		}
+		b.WriteByte('\n')
+		writeRow := func(name string, xs []float64) {
+			fmt.Fprintf(&b, "%-10s", name)
+			for _, x := range xs {
+				fmt.Fprintf(&b, " %8.1f", x)
+			}
+			b.WriteByte('\n')
+		}
+		writeRow("composite", comp.UserSeconds)
+		writeRow("single", single.UserSeconds)
+
+		fmt.Fprintf(&b, "Fig 16 (%s): (user seconds, EMD) pairs\n", id)
+		writePairs := func(name string, c Curve) {
+			fmt.Fprintf(&b, "%-10s", name)
+			for i := range c.Dists {
+				fmt.Fprintf(&b, " (%0.0fs, %.5f)", c.UserSeconds[i], c.Dists[i])
+			}
+			b.WriteByte('\n')
+		}
+		writePairs("composite", comp)
+		writePairs("single", single)
+		if cs, ss := total(comp.UserSeconds), total(single.UserSeconds); ss > 0 {
+			fmt.Fprintf(&b, "total user time: composite %.0fs vs single %.0fs (saving %.0f%%)\n\n",
+				cs, ss, (1-cs/ss)*100)
+		}
+	}
+	return b.String(), out, nil
+}
+
+func total(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}

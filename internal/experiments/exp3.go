@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Exp3Setting is one cell of Table VI.
+type Exp3Setting struct {
+	WrongLabel   float64 // 0, 0.05, 0.10
+	Completeness float64 // 1.0, 0.95, 0.90
+}
+
+// Exp3Result is one task's Table VI row: the average number of CQG
+// questions needed to reach the clean-run quality under each setting.
+type Exp3Result struct {
+	Task      string
+	Questions map[Exp3Setting]float64
+}
+
+// Exp3Settings mirrors the paper's grid: wrong labels varied with full
+// completeness, and completeness varied with no wrong labels.
+var Exp3Settings = []Exp3Setting{
+	{WrongLabel: 0, Completeness: 1},
+	{WrongLabel: 0.05, Completeness: 1},
+	{WrongLabel: 0.10, Completeness: 1},
+	{WrongLabel: 0, Completeness: 0.95},
+	{WrongLabel: 0, Completeness: 0.90},
+}
+
+// Exp3NoisyInput reproduces Table VI: for each task, the clean run's
+// final EMD at the paper budget defines the quality target; each noisy
+// setting then runs (averaged over repeats) until it reaches the target
+// (with 5% slack) or the extended budget runs out, and the number of CQG
+// questions asked is reported.
+func Exp3NoisyInput(env *Env, taskIDs []string, repeats int) (string, []Exp3Result, error) {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	const (
+		cleanBudget = 15
+		maxBudget   = 30
+		slack       = 1.05
+	)
+	var results []Exp3Result
+	for _, id := range taskIDs {
+		clean, err := RunTask(env, id, RunOptions{Budget: cleanBudget})
+		if err != nil {
+			return "", nil, err
+		}
+		target := clean.FinalDist() * slack
+		res := Exp3Result{Task: id, Questions: map[Exp3Setting]float64{}}
+
+		// The (setting, repeat) grid runs in parallel: each run owns a
+		// session over a cloned table and a seeded noise stream.
+		type job struct {
+			setting Exp3Setting
+			repeat  int
+		}
+		var jobs []job
+		for _, setting := range Exp3Settings {
+			for r := 0; r < repeats; r++ {
+				jobs = append(jobs, job{setting: setting, repeat: r})
+			}
+		}
+		counts := make([]int, len(jobs))
+		errs := make([]error, len(jobs))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.NumCPU())
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, j job) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				counts[i], errs[i] = questionsToReach(env, id, j.setting, target, maxBudget, int64(j.repeat+1))
+			}(i, j)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return "", nil, err
+			}
+		}
+		sums := map[Exp3Setting]float64{}
+		for i, j := range jobs {
+			sums[j.setting] += float64(counts[i])
+		}
+		for setting, sum := range sums {
+			res.Questions[setting] = sum / float64(repeats)
+		}
+		results = append(results, res)
+	}
+
+	var b strings.Builder
+	b.WriteString("Table VI: #-questions asked under different settings (average)\n")
+	fmt.Fprintf(&b, "%-6s %10s %10s %10s %10s %10s\n", "task", "W%=0", "W%=5", "W%=10", "C%=95", "C%=90")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-6s %10.1f %10.1f %10.1f %10.1f %10.1f\n", r.Task,
+			r.Questions[Exp3Settings[0]],
+			r.Questions[Exp3Settings[1]],
+			r.Questions[Exp3Settings[2]],
+			r.Questions[Exp3Settings[3]],
+			r.Questions[Exp3Settings[4]])
+	}
+	return b.String(), results, nil
+}
+
+// questionsToReach runs one noisy session and returns how many CQG
+// questions (iterations) it took to reach the target EMD; maxBudget is
+// returned when the target is never reached.
+func questionsToReach(env *Env, taskID string, setting Exp3Setting, target float64, maxBudget int, seed int64) (int, error) {
+	curve, err := RunTask(env, taskID, RunOptions{
+		Budget:         maxBudget,
+		WrongLabelRate: setting.WrongLabel,
+		Completeness:   setting.Completeness,
+		Seed:           seed * 7919,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i, d := range curve.Dists {
+		if d <= target {
+			return i + 1, nil
+		}
+	}
+	return maxBudget, nil
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"visclean/internal/datagen"
+	"visclean/internal/oracle"
+	"visclean/internal/pipeline"
+	"visclean/internal/usercost"
+	"visclean/internal/vis"
+	"visclean/internal/vql"
+)
+
+// RunOptions parameterizes one cleaning run.
+type RunOptions struct {
+	Selector pipeline.SelectorKind
+	Budget   int // iterations; default 15 (paper)
+	K        int // CQG size; default 10 (paper)
+	// Oracle noise (Exp-3).
+	WrongLabelRate float64
+	Completeness   float64
+	Seed           int64
+	// Ablations (see pipeline.Config).
+	NoGeneralization bool
+	NoHysteresis     bool
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Budget == 0 {
+		o.Budget = 15
+	}
+	if o.K == 0 {
+		o.K = 10
+	}
+	if o.Completeness == 0 {
+		o.Completeness = 1
+	}
+	return o
+}
+
+// Curve is one run's trajectory: the EMD to ground truth and the
+// cumulative simulated user time after each iteration.
+type Curve struct {
+	Task        string
+	Selector    string
+	InitialDist float64
+	Dists       []float64 // after iteration i+1
+	UserSeconds []float64 // cumulative
+	Questions   []int
+	Timings     []pipeline.Timings
+	// Snapshots holds the visualization after selected iterations for
+	// the Fig 10–12 progressions (keyed by iteration; 0 = initial).
+	Snapshots map[int]*vis.Data
+}
+
+// FinalDist returns the last distance (or the initial one if no
+// iterations ran).
+func (c Curve) FinalDist() float64 {
+	if len(c.Dists) == 0 {
+		return c.InitialDist
+	}
+	return c.Dists[len(c.Dists)-1]
+}
+
+// RunTask executes one cleaning run of a workload task and returns its
+// trajectory. snapshotAt lists iterations whose visualization should be
+// captured (0 captures the initial chart).
+func RunTask(env *Env, taskID string, opts RunOptions, snapshotAt ...int) (Curve, error) {
+	opts = opts.withDefaults()
+	task, d, q, err := env.Materialize(taskID)
+	if err != nil {
+		return Curve{}, err
+	}
+	truthVis, err := q.Execute(d.Truth.Clean)
+	if err != nil {
+		return Curve{}, fmt.Errorf("experiments: truth vis for %s: %w", taskID, err)
+	}
+	session, err := pipeline.NewSession(d.Dirty, q, d.KeyColumns, pipeline.Config{
+		Selector:         opts.Selector,
+		K:                opts.K,
+		Seed:             env.Seed + opts.Seed,
+		TruthVis:         truthVis,
+		NoGeneralization: opts.NoGeneralization,
+		NoHysteresis:     opts.NoHysteresis,
+	})
+	if err != nil {
+		return Curve{}, err
+	}
+	user := newOracleUser(d, env.Seed+opts.Seed, opts)
+	cost := usercost.NewModel(env.Seed + opts.Seed)
+
+	curve := Curve{
+		Task:      task.ID,
+		Selector:  opts.Selector.String(),
+		Snapshots: map[int]*vis.Data{},
+	}
+	curve.InitialDist, err = session.DistToTruth()
+	if err != nil {
+		return Curve{}, err
+	}
+	wantSnap := map[int]bool{}
+	for _, it := range snapshotAt {
+		wantSnap[it] = true
+	}
+	if wantSnap[0] {
+		if v, err := session.CurrentVis(); err == nil {
+			curve.Snapshots[0] = v
+		}
+	}
+
+	spent := 0.0
+	for i := 0; i < opts.Budget; i++ {
+		rep, err := session.RunIteration(user)
+		if err != nil {
+			return curve, err
+		}
+		if rep.Exhausted {
+			break
+		}
+		if opts.Selector == pipeline.SelectSingle {
+			spent += cost.SingleGroupCost(rep.Questions())
+		} else {
+			spent += cost.CompositeCost(rep.TQuestions+rep.AQuestions, rep.MQuestions+rep.OQuestions)
+		}
+		curve.Dists = append(curve.Dists, rep.DistToTruth)
+		curve.UserSeconds = append(curve.UserSeconds, spent)
+		curve.Questions = append(curve.Questions, rep.Questions())
+		curve.Timings = append(curve.Timings, rep.Timings)
+		if wantSnap[rep.Iteration] {
+			if v, err := session.CurrentVis(); err == nil {
+				curve.Snapshots[rep.Iteration] = v
+			}
+		}
+	}
+	return curve, nil
+}
+
+// newOracleUser adapts a generated ground truth to the pipeline's User,
+// applying Exp-3's noise knobs.
+func newOracleUser(d *datagen.Dataset, seed int64, opts RunOptions) pipeline.User {
+	o := oracle.New(d.Truth, seed)
+	o.WrongLabelRate = opts.WrongLabelRate
+	if opts.Completeness > 0 && opts.Completeness < 1 {
+		o.Completeness = opts.Completeness
+	}
+	return o
+}
+
+// FormatCurveTable renders a set of curves as a fixed-width table of
+// EMD-per-iteration series (the data behind Figs 13–14).
+func FormatCurveTable(title string, curves []Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %-8s %9s", "task", "selector", "iter0")
+	n := 0
+	for _, c := range curves {
+		if len(c.Dists) > n {
+			n = len(c.Dists)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("iter%d", i))
+	}
+	b.WriteByte('\n')
+	for _, c := range curves {
+		fmt.Fprintf(&b, "%-10s %-8s %9.5f", c.Task, c.Selector, c.InitialDist)
+		for _, d := range c.Dists {
+			fmt.Fprintf(&b, " %8.5f", d)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// parseTaskQuery is a test helper: the workload must parse and validate.
+func parseTaskQuery(env *Env, t Task) (*vql.Query, error) {
+	q, err := vql.Parse(t.VQL)
+	if err != nil {
+		return nil, err
+	}
+	d := env.Dataset(t.Dataset)
+	if err := q.Validate(d.Dirty.Schema()); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

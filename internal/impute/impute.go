@@ -1,0 +1,120 @@
+// Package impute implements the paper's missing-value repair generator
+// (§IV, Q_M): for a tuple missing its Y value, find the k most similar
+// tuples — similarity being the token Jaccard of the concatenation of all
+// attributes — and suggest the mean of their Y values.
+package impute
+
+import (
+	"sort"
+
+	"visclean/internal/dataset"
+	"visclean/internal/stringsim"
+)
+
+// DefaultK is the paper's neighbourhood size (k=5).
+const DefaultK = 5
+
+// Suggestion is a proposed repair for one tuple's Y cell.
+type Suggestion struct {
+	ID    dataset.TupleID
+	Value float64
+	// Neighbors are the tuple ids the value was averaged from, most
+	// similar first; the GUI shows them as context.
+	Neighbors []dataset.TupleID
+}
+
+// Imputer indexes a table for kNN value suggestion. Build one per
+// iteration (token sets are cached per row).
+type Imputer struct {
+	table  *dataset.Table
+	yCol   int
+	k      int
+	tokens []map[string]struct{}
+}
+
+// New builds an imputer over column yCol of t with neighbourhood size k
+// (k <= 0 selects DefaultK). The concatenated-row token sets exclude the
+// Y column itself so a candidate's own (possibly wrong) Y value does not
+// influence which neighbours are chosen — required for outlier repair
+// where Y is present but suspect.
+func New(t *dataset.Table, yCol, k int) *Imputer {
+	if k <= 0 {
+		k = DefaultK
+	}
+	im := &Imputer{table: t, yCol: yCol, k: k}
+	im.tokens = make([]map[string]struct{}, t.NumRows())
+	for i := 0; i < t.NumRows(); i++ {
+		im.tokens[i] = rowTokens(t, i, yCol)
+	}
+	return im
+}
+
+func rowTokens(t *dataset.Table, row, skipCol int) map[string]struct{} {
+	set := make(map[string]struct{})
+	for c := 0; c < t.NumCols(); c++ {
+		if c == skipCol {
+			continue
+		}
+		for _, tok := range stringsim.Tokenize(t.Get(row, c).String()) {
+			set[tok] = struct{}{}
+		}
+	}
+	return set
+}
+
+// SuggestFor computes the repair suggestion for one tuple id. ok is false
+// when the tuple does not exist or no neighbour has a usable Y value.
+func (im *Imputer) SuggestFor(id dataset.TupleID) (Suggestion, bool) {
+	row, ok := im.table.RowIndex(id)
+	if !ok {
+		return Suggestion{}, false
+	}
+	type scored struct {
+		row int
+		sim float64
+	}
+	var cands []scored
+	for i := 0; i < im.table.NumRows(); i++ {
+		if i == row {
+			continue
+		}
+		if _, hasY := im.table.Get(i, im.yCol).Float(); !hasY {
+			continue
+		}
+		cands = append(cands, scored{row: i, sim: stringsim.JaccardSets(im.tokens[row], im.tokens[i])})
+	}
+	if len(cands) == 0 {
+		return Suggestion{}, false
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].sim != cands[b].sim {
+			return cands[a].sim > cands[b].sim
+		}
+		return im.table.ID(cands[a].row) < im.table.ID(cands[b].row)
+	})
+	k := im.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	sum := 0.0
+	s := Suggestion{ID: id}
+	for _, c := range cands[:k] {
+		y, _ := im.table.Get(c.row, im.yCol).Float()
+		sum += y
+		s.Neighbors = append(s.Neighbors, im.table.ID(c.row))
+	}
+	s.Value = sum / float64(k)
+	return s, true
+}
+
+// SuggestAllMissing produces suggestions for every tuple whose Y cell is
+// null — the M-question set Q_M. Results are ordered by tuple id.
+func (im *Imputer) SuggestAllMissing() []Suggestion {
+	var out []Suggestion
+	for _, id := range im.table.MissingIDs(im.yCol) {
+		if s, ok := im.SuggestFor(id); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Package oracle simulates the human participant of the paper's
+// experiments (§VII). The generators record the ground truth they corrupt
+// — entity identity, canonical attribute values and true numeric values —
+// and the oracle answers T/A/M/O questions from it. Exp-3's robustness
+// knobs are built in: WrongLabelRate flips/perturbs a fraction of answers
+// and Completeness drops a fraction entirely.
+package oracle
+
+import (
+	"math/rand"
+
+	"visclean/internal/dataset"
+)
+
+// GroundTruth is what the data generator knows and the system must
+// recover.
+type GroundTruth struct {
+	// Entity maps each dirty tuple to its true entity id.
+	Entity map[dataset.TupleID]int
+	// Canonical maps, per column name, each attribute value variant to
+	// its canonical form ("ACM SIGMOD" → "SIGMOD").
+	Canonical map[string]map[string]string
+	// TrueY maps each dirty tuple to the true value of the measure
+	// column (per column name) before missing/outlier corruption.
+	TrueY map[string]map[dataset.TupleID]float64
+	// Clean is the fully consolidated clean table (one row per entity),
+	// used to compute the ground-truth visualization Q(D_g).
+	Clean *dataset.Table
+}
+
+// CanonicalValue resolves a value through the canonical map; unknown
+// values canonicalize to themselves.
+func (gt *GroundTruth) CanonicalValue(column, v string) string {
+	if m := gt.Canonical[column]; m != nil {
+		if c, ok := m[v]; ok {
+			return c
+		}
+	}
+	return v
+}
+
+// SameEntity reports whether two tuples are true duplicates.
+func (gt *GroundTruth) SameEntity(a, b dataset.TupleID) bool {
+	ea, okA := gt.Entity[a]
+	eb, okB := gt.Entity[b]
+	return okA && okB && ea == eb
+}
+
+// TrueValue returns the true measure value of a tuple, if recorded.
+func (gt *GroundTruth) TrueValue(column string, id dataset.TupleID) (float64, bool) {
+	m := gt.TrueY[column]
+	if m == nil {
+		return 0, false
+	}
+	v, ok := m[id]
+	return v, ok
+}
+
+// Oracle answers cleaning questions from ground truth, with optional
+// noise. The zero WrongLabelRate / zero missing rate oracle is the
+// perfect expert of Exp-1/2.
+type Oracle struct {
+	Truth *GroundTruth
+	// WrongLabelRate is the probability an answer is corrupted (flipped
+	// for booleans, perturbed for values) — Exp-3's WrongLabel%.
+	WrongLabelRate float64
+	// Completeness is the probability an answer is given at all —
+	// Exp-3's Completeness%. 0 means 1.0 (always answer).
+	Completeness float64
+	rng          *rand.Rand
+}
+
+// New builds an oracle with a deterministic noise stream.
+func New(truth *GroundTruth, seed int64) *Oracle {
+	return &Oracle{Truth: truth, Completeness: 1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// answers reports whether this question gets any answer.
+func (o *Oracle) answers() bool {
+	if o.Completeness <= 0 || o.Completeness >= 1 {
+		return true
+	}
+	return o.rng.Float64() < o.Completeness
+}
+
+// lies reports whether this answer is corrupted.
+func (o *Oracle) lies() bool {
+	return o.WrongLabelRate > 0 && o.rng.Float64() < o.WrongLabelRate
+}
+
+// AnswerT answers a T-question: are a and b the same entity?
+func (o *Oracle) AnswerT(a, b dataset.TupleID) (match, answered bool) {
+	if !o.answers() {
+		return false, false
+	}
+	match = o.Truth.SameEntity(a, b)
+	if o.lies() {
+		match = !match
+	}
+	return match, true
+}
+
+// AnswerA answers an A-question: do v1 and v2 of the given column denote
+// the same attribute entity?
+func (o *Oracle) AnswerA(column, v1, v2 string) (same, answered bool) {
+	if !o.answers() {
+		return false, false
+	}
+	same = o.Truth.CanonicalValue(column, v1) == o.Truth.CanonicalValue(column, v2)
+	if o.lies() {
+		same = !same
+	}
+	return same, true
+}
+
+// AnswerM answers an M-question with the true value of the tuple's
+// measure cell. ok is false when the oracle abstains or has no truth.
+func (o *Oracle) AnswerM(column string, id dataset.TupleID) (value float64, answered bool) {
+	if !o.answers() {
+		return 0, false
+	}
+	v, ok := o.Truth.TrueValue(column, id)
+	if !ok {
+		return 0, false
+	}
+	if o.lies() {
+		v = corruptValue(o.rng, v)
+	}
+	return v, true
+}
+
+// AnswerO answers an O-question: whether current is wrong, and if so the
+// true value.
+func (o *Oracle) AnswerO(column string, id dataset.TupleID, current float64) (isOutlier bool, value float64, answered bool) {
+	if !o.answers() {
+		return false, 0, false
+	}
+	v, ok := o.Truth.TrueValue(column, id)
+	if !ok {
+		return false, 0, false
+	}
+	isOutlier = v != current
+	value = v
+	if o.lies() {
+		if o.rng.Intn(2) == 0 {
+			isOutlier = !isOutlier
+		} else {
+			value = corruptValue(o.rng, v)
+		}
+	}
+	return isOutlier, value, true
+}
+
+// corruptValue produces a plausibly wrong numeric answer.
+func corruptValue(rng *rand.Rand, v float64) float64 {
+	switch rng.Intn(3) {
+	case 0:
+		return v * 10
+	case 1:
+		return v * 0.5
+	default:
+		return v + 100*(rng.Float64()-0.5)
+	}
+}

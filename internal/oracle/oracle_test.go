@@ -1,0 +1,116 @@
+package oracle
+
+import (
+	"testing"
+
+	"visclean/internal/dataset"
+)
+
+func testTruth() *GroundTruth {
+	return &GroundTruth{
+		Entity: map[dataset.TupleID]int{1: 100, 2: 100, 3: 101},
+		Canonical: map[string]map[string]string{
+			"Venue": {
+				"SIGMOD":       "SIGMOD",
+				"ACM SIGMOD":   "SIGMOD",
+				"SIGMOD Conf.": "SIGMOD",
+				"VLDB":         "VLDB",
+			},
+		},
+		TrueY: map[string]map[dataset.TupleID]float64{
+			"Citations": {1: 174, 2: 174, 3: 15},
+		},
+	}
+}
+
+func TestPerfectOracle(t *testing.T) {
+	o := New(testTruth(), 1)
+	if m, ok := o.AnswerT(1, 2); !ok || !m {
+		t.Fatal("duplicates not confirmed")
+	}
+	if m, ok := o.AnswerT(1, 3); !ok || m {
+		t.Fatal("non-duplicates confirmed")
+	}
+	if _, ok := o.AnswerT(1, 99); !ok {
+		t.Fatal("unknown tuple should still be answered (as non-match)")
+	}
+	if s, ok := o.AnswerA("Venue", "ACM SIGMOD", "SIGMOD Conf."); !ok || !s {
+		t.Fatal("synonyms not matched")
+	}
+	if s, ok := o.AnswerA("Venue", "SIGMOD", "VLDB"); !ok || s {
+		t.Fatal("distinct venues matched")
+	}
+	if s, ok := o.AnswerA("Venue", "Unknown Conf.", "Unknown Conf."); !ok || !s {
+		t.Fatal("identical unknown values should match")
+	}
+	if v, ok := o.AnswerM("Citations", 1); !ok || v != 174 {
+		t.Fatalf("AnswerM = %v/%v", v, ok)
+	}
+	if _, ok := o.AnswerM("Citations", 99); ok {
+		t.Fatal("missing truth should abstain")
+	}
+	out, v, ok := o.AnswerO("Citations", 1, 1740)
+	if !ok || !out || v != 174 {
+		t.Fatalf("AnswerO = %v/%v/%v", out, v, ok)
+	}
+	out, _, _ = o.AnswerO("Citations", 1, 174)
+	if out {
+		t.Fatal("correct value flagged as outlier")
+	}
+}
+
+func TestWrongLabels(t *testing.T) {
+	o := New(testTruth(), 2)
+	o.WrongLabelRate = 1 // always lie
+	if m, _ := o.AnswerT(1, 2); m {
+		t.Fatal("lying oracle told the truth")
+	}
+	if s, _ := o.AnswerA("Venue", "ACM SIGMOD", "SIGMOD"); s {
+		t.Fatal("lying oracle told the truth on A")
+	}
+	if v, _ := o.AnswerM("Citations", 1); v == 174 {
+		t.Fatal("lying oracle gave the true value")
+	}
+}
+
+func TestWrongLabelRateApprox(t *testing.T) {
+	o := New(testTruth(), 3)
+	o.WrongLabelRate = 0.3
+	wrong := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if m, _ := o.AnswerT(1, 2); !m {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("observed wrong rate %v, want ≈ 0.3", rate)
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	o := New(testTruth(), 4)
+	o.Completeness = 0.5
+	answered := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, ok := o.AnswerT(1, 2); ok {
+			answered++
+		}
+	}
+	rate := float64(answered) / n
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("answer rate %v, want ≈ 0.5", rate)
+	}
+}
+
+func TestCanonicalValueFallback(t *testing.T) {
+	gt := testTruth()
+	if got := gt.CanonicalValue("Venue", "NOVEL"); got != "NOVEL" {
+		t.Fatalf("unknown canonicalizes to %q", got)
+	}
+	if got := gt.CanonicalValue("NoSuchColumn", "x"); got != "x" {
+		t.Fatalf("unknown column canonicalizes to %q", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package outlier implements the paper's kNN outlier detector (§IV, Q_O,
+// following Ramaswamy et al. [31]): the outlier score of a value v in
+// column Y is the k-th smallest absolute difference between v and every
+// other value; the values with the largest scores become O-questions.
+// Repair suggestions reuse the kNN imputation logic so that a suspected
+// outlier (e.g. the decimal-shifted 1740 in the paper's Table I) is
+// replaced by the consensus of the most similar records.
+package outlier
+
+import (
+	"sort"
+
+	"visclean/internal/dataset"
+	"visclean/internal/impute"
+)
+
+// DefaultK is the neighbourhood size for the score.
+const DefaultK = 5
+
+// Detection is one suspected outlier with its score and suggested repair.
+type Detection struct {
+	ID     dataset.TupleID
+	Value  float64 // current (suspect) value
+	Score  float64 // k-th nearest absolute difference; larger = more anomalous
+	Repair float64 // suggested replacement value
+	HasFix bool    // false when no neighbour could produce a repair
+}
+
+// Detect scores every non-null value of column yCol and returns the top
+// maxResults detections in descending score order (ties by tuple id).
+// k <= 0 selects DefaultK; maxResults <= 0 returns all scored values.
+//
+// The 1-D structure makes exact kNN cheap: after sorting the values, each
+// value's k nearest neighbours lie in a window around its sorted
+// position, found by two-pointer expansion — O(n log n + n·k) overall.
+func Detect(t *dataset.Table, yCol, k, maxResults int) []Detection {
+	if k <= 0 {
+		k = DefaultK
+	}
+	vals, ids := t.NumericColumn(yCol)
+	n := len(vals)
+	if n < 2 {
+		return nil
+	}
+	if k >= n {
+		k = n - 1
+	}
+
+	sorted := make([]elem, n)
+	for i := range vals {
+		sorted[i] = elem{v: vals[i], id: ids[i]}
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].v != sorted[b].v {
+			return sorted[a].v < sorted[b].v
+		}
+		return sorted[a].id < sorted[b].id
+	})
+
+	out := make([]Detection, 0, n)
+	for i, e := range sorted {
+		out = append(out, Detection{ID: e.id, Value: e.v, Score: kthNearest(sorted, i, k)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	if maxResults > 0 && len(out) > maxResults {
+		out = out[:maxResults]
+	}
+	// Repair suggestions are expensive (kNN over the whole table), so
+	// compute them only for the detections actually returned.
+	im := impute.New(t, yCol, k)
+	for i := range out {
+		if s, ok := im.SuggestFor(out[i].ID); ok {
+			out[i].Repair = s.Value
+			out[i].HasFix = true
+		}
+	}
+	return out
+}
+
+// elem pairs a value with its tuple id for sorting.
+type elem struct {
+	v  float64
+	id dataset.TupleID
+}
+
+// kthNearest returns the k-th smallest |v_i − v_j| over j ≠ i, walking
+// outward from position i in the sorted slice.
+func kthNearest(sorted []elem, i, k int) float64 {
+	lo, hi := i-1, i+1
+	var dist float64
+	for found := 0; found < k; found++ {
+		switch {
+		case lo >= 0 && hi < len(sorted):
+			dl := sorted[i].v - sorted[lo].v
+			dr := sorted[hi].v - sorted[i].v
+			if dl <= dr {
+				dist = dl
+				lo--
+			} else {
+				dist = dr
+				hi++
+			}
+		case lo >= 0:
+			dist = sorted[i].v - sorted[lo].v
+			lo--
+		case hi < len(sorted):
+			dist = sorted[hi].v - sorted[i].v
+			hi++
+		default:
+			return dist
+		}
+	}
+	return dist
+}

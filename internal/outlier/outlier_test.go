@@ -1,0 +1,152 @@
+package outlier
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"visclean/internal/dataset"
+)
+
+func citationsTable(t testing.TB, vals ...float64) *dataset.Table {
+	tbl := dataset.NewTable(dataset.Schema{
+		{Name: "Title", Kind: dataset.String},
+		{Name: "Citations", Kind: dataset.Float},
+	})
+	for i, v := range vals {
+		title := dataset.Str("paper" + string(rune('a'+i%26)))
+		tbl.MustAppend([]dataset.Value{title, dataset.Num(v)})
+	}
+	return tbl
+}
+
+func TestDetectFindsDecimalShiftOutlier(t *testing.T) {
+	// The paper's 1740-vs-174 outlier: one wild value among clustered ones.
+	tbl := citationsTable(t, 174, 1740, 174, 15, 13, 13, 55, 42, 44)
+	dets := Detect(tbl, 1, 3, 1)
+	if len(dets) != 1 {
+		t.Fatalf("detections = %v", dets)
+	}
+	if dets[0].Value != 1740 {
+		t.Fatalf("top outlier value = %v, want 1740", dets[0].Value)
+	}
+	if dets[0].Score <= 0 {
+		t.Fatalf("score = %v", dets[0].Score)
+	}
+	if !dets[0].HasFix {
+		t.Fatal("expected a repair suggestion")
+	}
+	if dets[0].Repair >= 1740 {
+		t.Fatalf("repair %v should be far below the outlier", dets[0].Repair)
+	}
+}
+
+func TestDetectScoreIsKthNearest(t *testing.T) {
+	// Values 0, 10, 20, 100 with k=2:
+	// score(0)   = 2nd nearest = |0-20|  = 20
+	// score(10)  = 2nd nearest = |10-20| = 10 (nearest 0 at 10, then 20 at 10) -> 10
+	// score(20)  = 2nd nearest = 20
+	// score(100) = 2nd nearest = 90
+	tbl := citationsTable(t, 0, 10, 20, 100)
+	dets := Detect(tbl, 1, 2, 0)
+	byVal := map[float64]float64{}
+	for _, d := range dets {
+		byVal[d.Value] = d.Score
+	}
+	want := map[float64]float64{0: 20, 10: 10, 20: 20, 100: 90}
+	for v, s := range want {
+		if byVal[v] != s {
+			t.Errorf("score(%v) = %v, want %v", v, byVal[v], s)
+		}
+	}
+	if dets[0].Value != 100 {
+		t.Fatalf("top detection = %v, want 100", dets[0].Value)
+	}
+}
+
+func TestDetectTinyInputs(t *testing.T) {
+	if dets := Detect(citationsTable(t), 1, 5, 0); dets != nil {
+		t.Fatalf("empty column detections = %v", dets)
+	}
+	if dets := Detect(citationsTable(t, 5), 1, 5, 0); dets != nil {
+		t.Fatalf("single value detections = %v", dets)
+	}
+	// Two values: k clamps to 1.
+	dets := Detect(citationsTable(t, 5, 8), 1, 5, 0)
+	if len(dets) != 2 || dets[0].Score != 3 {
+		t.Fatalf("two-value detections = %v", dets)
+	}
+}
+
+func TestDetectSkipsNulls(t *testing.T) {
+	tbl := dataset.NewTable(dataset.Schema{
+		{Name: "T", Kind: dataset.String},
+		{Name: "Y", Kind: dataset.Float},
+	})
+	tbl.MustAppend([]dataset.Value{dataset.Str("a"), dataset.Num(1)})
+	tbl.MustAppend([]dataset.Value{dataset.Str("b"), dataset.Null(dataset.Float)})
+	tbl.MustAppend([]dataset.Value{dataset.Str("c"), dataset.Num(2)})
+	dets := Detect(tbl, 1, 1, 0)
+	if len(dets) != 2 {
+		t.Fatalf("detections = %v", dets)
+	}
+}
+
+func TestDetectDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+	}
+	tbl := citationsTable(t, vals...)
+	d1 := Detect(tbl, 1, 5, 10)
+	d2 := Detect(tbl, 1, 5, 10)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("nondeterministic detection order")
+		}
+	}
+	if !sort.SliceIsSorted(d1, func(a, b int) bool {
+		if d1[a].Score != d1[b].Score {
+			return d1[a].Score > d1[b].Score
+		}
+		return d1[a].ID < d1[b].ID
+	}) {
+		t.Fatal("detections not sorted by score desc")
+	}
+}
+
+func TestKthNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(100))
+		}
+		k := 1 + rng.Intn(n-1)
+		tbl := citationsTable(t, vals...)
+		dets := Detect(tbl, 1, k, 0)
+		// Brute force per value.
+		for _, d := range dets {
+			var diffs []float64
+			for _, v := range vals {
+				diffs = append(diffs, absf(v-d.Value))
+			}
+			sort.Float64s(diffs)
+			// diffs[0] is self (0); k-th nearest excluding self = diffs[k].
+			want := diffs[k]
+			if absf(d.Score-want) > 1e-9 {
+				t.Fatalf("trial %d: score(%v) = %v, brute force %v (k=%d vals=%v)",
+					trial, d.Value, d.Score, want, k, vals)
+			}
+		}
+	}
+}
+
+func absf(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

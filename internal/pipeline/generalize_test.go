@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"testing"
+
+	"visclean/internal/dataset"
+	"visclean/internal/vql"
+)
+
+// generalizeFixture builds a session over a venue table where exactly one
+// approval should generalize to unseen variants.
+func generalizeFixture(t *testing.T) *Session {
+	t.Helper()
+	tbl := dataset.NewTable(dataset.Schema{
+		{Name: "Title", Kind: dataset.String},
+		{Name: "Venue", Kind: dataset.String},
+		{Name: "Citations", Kind: dataset.Float},
+	})
+	rows := []struct {
+		title, venue string
+		cites        float64
+	}{
+		{"paper one", "SIGMOD", 10},
+		{"paper two", "ACM SIGMOD", 20},
+		{"paper three", "ACM KDD", 30},
+		{"paper four", "KDD", 40},
+		{"paper five", "VLDB", 50},
+		{"paper six", "Very Large Data Bases", 60},
+	}
+	for _, r := range rows {
+		tbl.MustAppend([]dataset.Value{dataset.Str(r.title), dataset.Str(r.venue), dataset.Num(r.cites)})
+	}
+	q := vql.MustParse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM t TRANSFORM GROUP BY Venue`)
+	s, err := NewSession(tbl, q, []int{0}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGeneralizeApprovals(t *testing.T) {
+	s := generalizeFixture(t)
+	// One approval: ACM SIGMOD = SIGMOD. The learned rule ("acm" is
+	// decorative) must also standardize ACM KDD with KDD, unseen.
+	s.applyA("Venue", "ACM SIGMOD", "SIGMOD", true)
+	s.rebuildStandardizers()
+	st := s.std["Venue"]
+	if !st.SameClass("ACM SIGMOD", "SIGMOD") {
+		t.Fatal("explicit approval not applied")
+	}
+	if !st.SameClass("ACM KDD", "KDD") {
+		t.Fatal("rule did not generalize to ACM KDD")
+	}
+	// No containment relation -> no generalization.
+	if st.SameClass("VLDB", "Very Large Data Bases") {
+		t.Fatal("over-generalized to non-containment pair")
+	}
+}
+
+func TestGeneralizationRespectRejections(t *testing.T) {
+	s := generalizeFixture(t)
+	s.applyA("Venue", "ACM SIGMOD", "SIGMOD", true)
+	// The user explicitly rejects ACM KDD = KDD; the rule must not
+	// override the human.
+	s.applyA("Venue", "ACM KDD", "KDD", false)
+	s.rebuildStandardizers()
+	st := s.std["Venue"]
+	if st.SameClass("ACM KDD", "KDD") {
+		t.Fatal("generalization overrode an explicit rejection")
+	}
+	if !st.SameClass("ACM SIGMOD", "SIGMOD") {
+		t.Fatal("explicit approval lost")
+	}
+}
+
+func TestRejectionCutsEarlierApproval(t *testing.T) {
+	s := generalizeFixture(t)
+	// A (wrong) approval merges SIGMOD with VLDB; a later rejection of
+	// the same pair must cut the class apart on rebuild.
+	s.applyA("Venue", "SIGMOD", "VLDB", true)
+	s.rebuildStandardizers()
+	if !s.std["Venue"].SameClass("SIGMOD", "VLDB") {
+		t.Fatal("setup: approval not applied")
+	}
+	s.applyA("Venue", "SIGMOD", "VLDB", false)
+	s.rebuildStandardizers()
+	if s.std["Venue"].SameClass("SIGMOD", "VLDB") {
+		t.Fatal("rejection did not cut the wrong merge")
+	}
+}

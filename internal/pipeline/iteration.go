@@ -1,0 +1,691 @@
+package pipeline
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"visclean/internal/benefit"
+	"visclean/internal/cqgselect"
+	"visclean/internal/dataset"
+	"visclean/internal/em"
+	"visclean/internal/erg"
+	"visclean/internal/goldenrec"
+	"visclean/internal/impute"
+	"visclean/internal/outlier"
+	"visclean/internal/stringsim"
+	"visclean/internal/vis"
+)
+
+// questionSet is one iteration's repairing-candidate set Q = Q_T ∪ Q_A ∪
+// Q_M ∪ Q_O (§IV).
+type questionSet struct {
+	T []em.ScoredPair
+	A []aQuestion
+	M []impute.Suggestion
+	O []outlier.Detection
+}
+
+type aQuestion struct {
+	col    int
+	name   string
+	v1, v2 string
+	sim    float64
+}
+
+// RunIteration executes one full framework iteration against the user
+// and returns its report. When the ERG is empty (nothing left to ask)
+// the report's Exhausted flag is set and no user interaction happens.
+func (s *Session) RunIteration(user User) (Report, error) {
+	rep := Report{Iteration: s.iter + 1, Selector: s.cfg.Selector.String()}
+
+	before, err := s.CurrentVis()
+	if err != nil {
+		return rep, err
+	}
+
+	start := time.Now()
+	qs := s.detectQuestions()
+	rep.Timings.Detect = time.Since(start)
+
+	if s.cfg.Selector == SelectSingle {
+		if err := s.runSingleIteration(user, qs, before, &rep); err != nil {
+			return rep, err
+		}
+	} else {
+		if err := s.runCompositeIteration(user, qs, before, &rep); err != nil {
+			return rep, err
+		}
+	}
+	if rep.Exhausted {
+		return rep, nil
+	}
+
+	// Framework step 6: feed answers back into the models.
+	start = time.Now()
+	s.refreshModel()
+	rep.Timings.Train = time.Since(start)
+
+	// Framework step 7: refresh the visualization and measure movement.
+	after, err := s.CurrentVis()
+	if err != nil {
+		return rep, err
+	}
+	rep.DistMoved = s.cfg.Dist(before, after)
+	if s.cfg.TruthVis != nil {
+		rep.DistToTruth = s.cfg.Dist(after, s.cfg.TruthVis)
+	}
+	s.iter++
+	rep.Iteration = s.iter
+	return rep, nil
+}
+
+// Run executes up to budget iterations, stopping early when the ERG is
+// exhausted, and returns the per-iteration reports.
+func (s *Session) Run(user User, budget int) ([]Report, error) {
+	var out []Report
+	for i := 0; i < budget; i++ {
+		rep, err := s.RunIteration(user)
+		if err != nil {
+			return out, err
+		}
+		if rep.Exhausted {
+			break
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// DistToTruth reports the current distance to the ground-truth
+// visualization (0 if none configured).
+func (s *Session) DistToTruth() (float64, error) {
+	if s.cfg.TruthVis == nil {
+		return 0, nil
+	}
+	cur, err := s.CurrentVis()
+	if err != nil {
+		return 0, err
+	}
+	return s.cfg.Dist(cur, s.cfg.TruthVis), nil
+}
+
+// detectQuestions runs the four detectors of §IV (framework step 2).
+func (s *Session) detectQuestions() questionSet {
+	var qs questionSet
+
+	// Q_T: uncertain candidate pairs (active learning, §IV) — pairs with
+	// probability close to 0.5. Uses the probability cache refreshed at
+	// the last retrain instead of re-running the forest.
+	qs.T = s.uncertainPairs(s.cfg.MaxT, 0.15, 0.9)
+
+	// Q_A: Algorithm 1 over the current clusters, per A-column.
+	// Singleton clusters participate too: Strategy 2's cross-cluster
+	// similarity join is what finds synonyms whose tuples are not
+	// duplicates of anything (the paper's "ICDE 2013" ↔ "ICDE").
+	groups := s.clusters.Groups(1)
+	schema := s.table.Schema()
+	for _, c := range s.aColumns {
+		name := schema[c].Name
+		st := s.std[name]
+		for _, cand := range goldenrec.Candidates(s.table, groups, c, s.cfg.SimJoinThreshold) {
+			if len(qs.A) >= s.cfg.MaxA {
+				break
+			}
+			if _, done := s.answeredA[makeAKey(name, cand.V1, cand.V2)]; done {
+				continue
+			}
+			if st.SameClass(cand.V1, cand.V2) {
+				// Already standardized — except that a near-dissimilar
+				// pair inside one class smells like a wrong merge; ask
+				// it as a verification question so a reject can cut the
+				// class apart (wrong-label recovery).
+				if cand.Sim >= 0.25 {
+					continue
+				}
+			}
+			qs.A = append(qs.A, aQuestion{col: c, name: name, v1: cand.V1, v2: cand.V2, sim: cand.Prob})
+		}
+	}
+
+	// Q_M: kNN imputation suggestions for missing measure cells.
+	im := impute.New(s.table, s.yCol, s.cfg.ImputeK)
+	for _, sug := range im.SuggestAllMissing() {
+		if len(qs.M) >= s.cfg.MaxM {
+			break
+		}
+		if _, done := s.answeredM[sug.ID]; done {
+			continue
+		}
+		qs.M = append(qs.M, sug)
+	}
+
+	// Q_O: top kNN outlier scores.
+	dets := outlier.Detect(s.table, s.yCol, s.cfg.ImputeK, s.cfg.MaxO*3)
+	med := medianScore(dets)
+	for _, d := range dets {
+		if len(qs.O) >= s.cfg.MaxO {
+			break
+		}
+		// Only genuinely anomalous values are worth a question.
+		if med > 0 && d.Score < 5*med {
+			continue
+		}
+		if _, done := s.answeredO[d.ID]; done {
+			// Re-ask an already-answered cell only when it is extremely
+			// anomalous — the earlier answer was probably wrong (Exp-3's
+			// wrong-label recovery: a couple of extra questions).
+			if med <= 0 || d.Score < 20*med {
+				continue
+			}
+			delete(s.answeredO, d.ID)
+		}
+		qs.O = append(qs.O, d)
+	}
+	return qs
+}
+
+// uncertainPairs ranks unlabeled candidates by |p−0.5| ascending from
+// the cached probabilities, keeping only probabilities in [lo, hi].
+func (s *Session) uncertainPairs(n int, lo, hi float64) []em.ScoredPair {
+	scored := make([]em.ScoredPair, 0, len(s.candidates))
+	for _, p := range s.candidates {
+		if _, labeled := s.matcher.Label(p); labeled {
+			continue
+		}
+		pr := s.prob(p)
+		if pr < lo || pr > hi {
+			continue
+		}
+		scored = append(scored, em.ScoredPair{Pair: p, Prob: pr})
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		da := scored[a].Prob - 0.5
+		if da < 0 {
+			da = -da
+		}
+		db := scored[b].Prob - 0.5
+		if db < 0 {
+			db = -db
+		}
+		if da != db {
+			return da < db
+		}
+		if scored[a].Pair.A != scored[b].Pair.A {
+			return scored[a].Pair.A < scored[b].Pair.A
+		}
+		return scored[a].Pair.B < scored[b].Pair.B
+	})
+	if n > 0 && len(scored) > n {
+		scored = scored[:n]
+	}
+	return scored
+}
+
+func medianScore(dets []outlier.Detection) float64 {
+	if len(dets) == 0 {
+		return 0
+	}
+	scores := make([]float64, len(dets))
+	for i, d := range dets {
+		scores[i] = d.Score
+	}
+	sort.Float64s(scores)
+	return scores[len(scores)/2]
+}
+
+// buildERG organizes the question set as an errors-and-repairs graph
+// (framework step 3, Definition 2.1).
+func (s *Session) buildERG(qs questionSet) *erg.Graph {
+	vertexSet := map[dataset.TupleID]struct{}{}
+	addV := func(id dataset.TupleID) {
+		vertexSet[id] = struct{}{}
+	}
+	for _, sp := range qs.T {
+		addV(sp.Pair.A)
+		addV(sp.Pair.B)
+	}
+	for _, m := range qs.M {
+		addV(m.ID)
+	}
+	for _, o := range qs.O {
+		addV(o.ID)
+	}
+	// A-questions attach to tuple pairs exhibiting the two values. Prefer
+	// a blocking candidate pair (Definition 2.1 puts p^t and p^a on the
+	// same edge, which is also what lets GSS grow CQGs mixing both
+	// question kinds); fall back to representative tuples.
+	pairByValues := s.candidatePairsByValues(qs.A)
+	type aPlace struct {
+		q    aQuestion
+		a, b dataset.TupleID
+		ok   bool
+	}
+	var placed []aPlace
+	for _, q := range qs.A {
+		p := aPlace{q: q}
+		if cand, ok := pairByValues[aValueKey(q.col, q.v1, q.v2)]; ok {
+			p.a, p.b, p.ok = cand.A, cand.B, true
+		} else {
+			a, okA := s.firstTupleWith(q.col, q.v1)
+			b, okB := s.firstTupleWith(q.col, q.v2)
+			if okA && okB && a != b {
+				p.a, p.b, p.ok = a, b, true
+			}
+		}
+		if p.ok {
+			addV(p.a)
+			addV(p.b)
+		}
+		placed = append(placed, p)
+	}
+
+	vertices := make([]dataset.TupleID, 0, len(vertexSet))
+	for v := range vertexSet {
+		vertices = append(vertices, v)
+	}
+	sort.Slice(vertices, func(i, j int) bool { return vertices[i] < vertices[j] })
+	g := erg.MustNew(vertices)
+
+	// T-question edges. Every edge also carries an A-question when its
+	// endpoints disagree on an A-column (Definition 2.1 weights each
+	// edge with the pair (p^t, p^a)): even when the user splits the
+	// tuples, the attribute question on the same edge still gets its
+	// answer, which is much of the composite mechanism's leverage.
+	edgeAt := map[em.Pair]int{}
+	for _, sp := range qs.T {
+		e := erg.Edge{A: sp.Pair.A, B: sp.Pair.B, HasT: true, PT: sp.Prob}
+		s.attachAQuestion(&e)
+		if err := g.AddEdge(e); err != nil {
+			continue
+		}
+		edgeAt[sp.Pair] = g.NumEdges() - 1
+	}
+	// A-questions: prefer an existing T-edge whose endpoints carry the
+	// two values; otherwise add a representative edge.
+	for _, p := range placed {
+		if !p.ok {
+			continue
+		}
+		attached := false
+		for i := 0; i < g.NumEdges() && !attached; i++ {
+			e := g.Edge(i)
+			if e.HasA {
+				continue
+			}
+			if s.edgeShowsValues(e, p.q.col, p.q.v1, p.q.v2) {
+				e.HasA = true
+				e.PA = p.q.sim
+				e.ACol = p.q.name
+				e.AV1, e.AV2 = p.q.v1, p.q.v2
+				attached = true
+			}
+		}
+		if attached {
+			continue
+		}
+		pair := em.MakePair(p.a, p.b)
+		if i, exists := edgeAt[pair]; exists {
+			e := g.Edge(i)
+			if !e.HasA {
+				e.HasA = true
+				e.PA = p.q.sim
+				e.ACol = p.q.name
+				e.AV1, e.AV2 = p.q.v1, p.q.v2
+			}
+			continue
+		}
+		// New edge; when the endpoints are a blocking candidate the edge
+		// carries the T-question too, exactly the (p^t, p^a) weighting of
+		// Definition 2.1.
+		e := erg.Edge{
+			A: pair.A, B: pair.B,
+			HasA: true, PA: p.q.sim, ACol: p.q.name, AV1: p.q.v1, AV2: p.q.v2,
+		}
+		if pr, isCand := s.probCache[pair]; isCand {
+			if _, labeled := s.matcher.Label(pair); !labeled {
+				e.HasT = true
+				e.PT = pr
+			}
+		}
+		if g.AddEdge(e) == nil {
+			edgeAt[pair] = g.NumEdges() - 1
+		}
+	}
+
+	// Vertex repairs.
+	for _, m := range qs.M {
+		_ = g.SetRepair(erg.VertexRepair{
+			ID: m.ID, Kind: erg.Missing, Suggested: m.Value, Neighbors: m.Neighbors,
+		})
+	}
+	for _, o := range qs.O {
+		_ = g.SetRepair(erg.VertexRepair{
+			ID: o.ID, Kind: erg.Outlier, Current: o.Value, Suggested: o.Repair, Score: o.Score,
+		})
+	}
+
+	// Connect isolated repair vertices so CQGs can reach them: attach
+	// each to its best candidate partner, or failing that to a nearest
+	// neighbour with a question-free context edge.
+	s.connectIsolated(g, qs)
+	return g
+}
+
+// connectIsolated gives edge-less repair vertices a way into a CQG.
+func (s *Session) connectIsolated(g *erg.Graph, qs questionSet) {
+	neighborOf := map[dataset.TupleID][]dataset.TupleID{}
+	for _, m := range qs.M {
+		neighborOf[m.ID] = m.Neighbors
+	}
+	for _, r := range g.Repairs() {
+		if len(g.IncidentEdges(r.ID)) > 0 {
+			continue
+		}
+		// Best blocking candidate touching this vertex.
+		bestPair := em.Pair{}
+		bestProb := -1.0
+		for _, p := range s.candidates {
+			if p.A != r.ID && p.B != r.ID {
+				continue
+			}
+			other := p.A
+			if other == r.ID {
+				other = p.B
+			}
+			if !g.HasVertex(other) {
+				continue
+			}
+			if pr := s.prob(p); pr > bestProb {
+				bestProb, bestPair = pr, p
+			}
+		}
+		if bestProb >= 0 {
+			_ = g.AddEdge(erg.Edge{A: bestPair.A, B: bestPair.B, HasT: true, PT: bestProb})
+			continue
+		}
+		for _, nb := range neighborOf[r.ID] {
+			if g.HasVertex(nb) && nb != r.ID {
+				_ = g.AddEdge(erg.Edge{A: r.ID, B: nb}) // context-only edge
+				break
+			}
+		}
+	}
+}
+
+// attachAQuestion decorates an edge with the A-question implied by its
+// endpoints: the first A-column on which both tuples carry differing,
+// not-yet-standardized, not-yet-asked values. The approval probability
+// is the values' token similarity.
+func (s *Session) attachAQuestion(e *erg.Edge) {
+	schema := s.table.Schema()
+	for _, c := range s.aColumns {
+		va, okA := s.table.GetByID(e.A, c)
+		vb, okB := s.table.GetByID(e.B, c)
+		if !okA || !okB {
+			continue
+		}
+		ta, okA := va.Text()
+		tb, okB := vb.Text()
+		if !okA || !okB || ta == tb {
+			continue
+		}
+		name := schema[c].Name
+		if _, done := s.answeredA[makeAKey(name, ta, tb)]; done {
+			continue
+		}
+		if st := s.std[name]; st != nil && st.SameClass(ta, tb) {
+			continue
+		}
+		e.HasA = true
+		e.PA = stringsim.Jaccard(ta, tb)
+		e.ACol = name
+		e.AV1, e.AV2 = ta, tb
+		return
+	}
+}
+
+// avKey identifies an unordered value pair within one column.
+type avKey struct {
+	col    int
+	v1, v2 string
+}
+
+func aValueKey(col int, v1, v2 string) avKey {
+	if v1 > v2 {
+		v1, v2 = v2, v1
+	}
+	return avKey{col: col, v1: v1, v2: v2}
+}
+
+// candidatePairsByValues finds, for each A-question's value pair, a
+// blocking candidate tuple pair exhibiting those values — the natural
+// edge to hang the A-question on. Deterministic: candidates are sorted.
+func (s *Session) candidatePairsByValues(qs []aQuestion) map[avKey]em.Pair {
+	want := make(map[avKey]struct{}, len(qs))
+	cols := map[int]struct{}{}
+	for _, q := range qs {
+		want[aValueKey(q.col, q.v1, q.v2)] = struct{}{}
+		cols[q.col] = struct{}{}
+	}
+	out := make(map[avKey]em.Pair)
+	for _, p := range s.candidates {
+		for c := range cols {
+			va, okA := s.table.GetByID(p.A, c)
+			vb, okB := s.table.GetByID(p.B, c)
+			if !okA || !okB {
+				continue
+			}
+			ta, okA := va.Text()
+			tb, okB := vb.Text()
+			if !okA || !okB || ta == tb {
+				continue
+			}
+			key := aValueKey(c, ta, tb)
+			if _, wanted := want[key]; !wanted {
+				continue
+			}
+			if _, dup := out[key]; !dup {
+				out[key] = p
+			}
+		}
+	}
+	return out
+}
+
+// firstTupleWith finds the smallest tuple id whose column c equals v.
+func (s *Session) firstTupleWith(c int, v string) (dataset.TupleID, bool) {
+	for i := 0; i < s.table.NumRows(); i++ {
+		if txt, ok := s.table.Get(i, c).Text(); ok && txt == v {
+			return s.table.ID(i), true
+		}
+	}
+	return 0, false
+}
+
+func (s *Session) edgeShowsValues(e *erg.Edge, c int, v1, v2 string) bool {
+	va, okA := s.table.GetByID(e.A, c)
+	vb, okB := s.table.GetByID(e.B, c)
+	if !okA || !okB {
+		return false
+	}
+	ta, okA := va.Text()
+	tb, okB := vb.Text()
+	if !okA || !okB {
+		return false
+	}
+	return (ta == v1 && tb == v2) || (ta == v2 && tb == v1)
+}
+
+// runCompositeIteration performs steps 3–5 with a CQG.
+func (s *Session) runCompositeIteration(user User, qs questionSet, before *vis.Data, rep *Report) error {
+	start := time.Now()
+	g := s.buildERG(qs)
+	rep.Timings.BuildERG = time.Since(start)
+
+	if g.NumVertices() == 0 {
+		rep.Exhausted = true
+		return nil
+	}
+
+	// Step 4a: benefit model.
+	start = time.Now()
+	est := &benefit.Estimator{
+		Dist:         s.cfg.Dist,
+		Base:         before,
+		Hypothetical: s.hypotheticalVis,
+	}
+	est.Annotate(g)
+	rep.Timings.Benefit = time.Since(start)
+
+	// Step 4b: CQG selection.
+	start = time.Now()
+	var res cqgselect.Result
+	switch s.cfg.Selector {
+	case SelectGSSPlus:
+		res = cqgselect.GSSPlus(g, s.cfg.K, cqgselect.GSSPlusOptions{})
+	case SelectBB:
+		res = cqgselect.BranchAndBound(g, s.cfg.K, cqgselect.BBOptions{MaxExpansions: s.cfg.BBMaxExpansions})
+	case SelectAlphaBB:
+		res = cqgselect.AlphaBB(g, s.cfg.K, s.cfg.Alpha, s.cfg.BBMaxExpansions)
+	case SelectRandom:
+		res = cqgselect.Random(g, s.cfg.K, rand.New(rand.NewSource(s.cfg.Seed+int64(s.iter)*977)))
+	default:
+		res = cqgselect.GSS(g, s.cfg.K)
+	}
+	rep.Timings.Select = time.Since(start)
+
+	if len(res.Vertices) == 0 {
+		rep.Exhausted = true
+		return nil
+	}
+	cqg := g.InducedSubgraph(res.Vertices)
+	rep.CQGVertices = cqg.NumVertices()
+	rep.CQGEdges = cqg.NumEdges()
+	rep.EstimatedBenefit = res.Benefit
+
+	// Step 5: user answers the CQG; answers are applied immediately.
+	start = time.Now()
+	s.askCQG(user, cqg, rep)
+	rep.Timings.Apply = time.Since(start)
+	return nil
+}
+
+// CQGObserver is an optional extension of User: a frontend implementing
+// it is shown each composite question graph before its questions are
+// asked, so it can render the graph GUI (§VI).
+type CQGObserver interface {
+	BeginCQG(g *erg.Graph)
+}
+
+// askCQG walks the CQG's questions and applies the answers (framework
+// steps 5–6's data part).
+func (s *Session) askCQG(user User, cqg *erg.Graph, rep *Report) {
+	if obs, ok := user.(CQGObserver); ok {
+		obs.BeginCQG(cqg)
+	}
+	for _, e := range cqg.Edges() {
+		if e.HasT {
+			rep.TQuestions++
+			match, answered := user.AnswerT(e.A, e.B)
+			if !answered {
+				rep.Unanswered++
+			} else {
+				s.applyT(em.MakePair(e.A, e.B), match)
+				if match {
+					// Confirming the tuples also confirms their A-column
+					// values (§VI): answer any attached A-question too.
+					if e.HasA {
+						rep.AQuestions++
+						s.applyA(e.ACol, e.AV1, e.AV2, true)
+					}
+					continue
+				}
+			}
+		}
+		if e.HasA {
+			rep.AQuestions++
+			same, answered := user.AnswerA(e.ACol, e.AV1, e.AV2)
+			if !answered {
+				rep.Unanswered++
+				continue
+			}
+			s.applyA(e.ACol, e.AV1, e.AV2, same)
+		}
+	}
+	yName := s.table.Schema()[s.yCol].Name
+	for _, r := range cqg.Repairs() {
+		if r.Kind == erg.Missing {
+			rep.MQuestions++
+			v, answered := user.AnswerM(yName, r.ID)
+			if !answered {
+				rep.Unanswered++
+				continue
+			}
+			s.applyM(r.ID, v)
+		} else {
+			rep.OQuestions++
+			isOut, v, answered := user.AnswerO(yName, r.ID, r.Current)
+			if !answered {
+				rep.Unanswered++
+				continue
+			}
+			s.applyO(r.ID, isOut, v)
+		}
+	}
+}
+
+// applyT records a T answer: matcher label + must/cannot-link. A
+// confirmation also equates the pair's values in every A-column (§VI
+// label-edge semantics), recorded as revocable approve votes.
+func (s *Session) applyT(p em.Pair, match bool) {
+	s.matcher.AddLabel(p, match)
+	s.userLabeled = true
+	if !match {
+		s.split = append(s.split, p)
+		return
+	}
+	s.confirmed = append(s.confirmed, p)
+	schema := s.table.Schema()
+	for _, c := range s.aColumns {
+		va, okA := s.table.GetByID(p.A, c)
+		vb, okB := s.table.GetByID(p.B, c)
+		if !okA || !okB {
+			continue
+		}
+		ta, okA := va.Text()
+		tb, okB := vb.Text()
+		if !okA || !okB || ta == tb {
+			continue
+		}
+		s.aApproved = append(s.aApproved, makeAKey(schema[c].Name, ta, tb))
+	}
+}
+
+// applyA records an A answer as a vote; classes are rebuilt on the next
+// model refresh so a rejection can cut a conflicting earlier approval.
+func (s *Session) applyA(column, v1, v2 string, same bool) {
+	key := makeAKey(column, v1, v2)
+	s.answeredA[key] = struct{}{}
+	if same {
+		s.aApproved = append(s.aApproved, key)
+	} else {
+		s.aRejected = append(s.aRejected, key)
+	}
+}
+
+// applyM writes the user's imputation into the working table.
+func (s *Session) applyM(id dataset.TupleID, v float64) {
+	s.answeredM[id] = struct{}{}
+	_ = s.table.SetByID(id, s.yCol, dataset.Num(v))
+	s.markDirty(id)
+}
+
+// applyO writes the user's outlier verdict into the working table.
+func (s *Session) applyO(id dataset.TupleID, isOutlier bool, v float64) {
+	s.answeredO[id] = struct{}{}
+	if isOutlier {
+		_ = s.table.SetByID(id, s.yCol, dataset.Num(v))
+		s.markDirty(id)
+	}
+}

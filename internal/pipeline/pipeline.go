@@ -1,0 +1,572 @@
+// Package pipeline is VisClean's orchestrator, implementing the framework
+// of §III (Fig 6): initialize the error detectors, build the ERG, price
+// it with the benefit model, select the most beneficial CQG, put it to
+// the user, apply the answers to the data and the cleaning models, and
+// refresh the visualization — iterating until the interaction budget is
+// spent.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"visclean/internal/dataset"
+	"visclean/internal/distance"
+	"visclean/internal/em"
+	"visclean/internal/goldenrec"
+	"visclean/internal/impute"
+	"visclean/internal/rf"
+	"visclean/internal/transform"
+	"visclean/internal/vis"
+	"visclean/internal/vql"
+)
+
+// User answers cleaning questions. *oracle.Oracle implements it; the
+// interactive CLI provides a terminal implementation.
+type User interface {
+	AnswerT(a, b dataset.TupleID) (match, answered bool)
+	AnswerA(column, v1, v2 string) (same, answered bool)
+	AnswerM(column string, id dataset.TupleID) (value float64, answered bool)
+	AnswerO(column string, id dataset.TupleID, current float64) (isOutlier bool, value float64, answered bool)
+}
+
+// SelectorKind names a CQG selection strategy (§VII's algorithm set).
+type SelectorKind int
+
+const (
+	SelectGSS SelectorKind = iota
+	SelectGSSPlus
+	SelectBB
+	SelectAlphaBB
+	SelectRandom
+	// SelectSingle is the single-questions baseline: no CQG; the top m
+	// single questions are asked in isolation, m/4 from each of
+	// Q_T/Q_A/Q_M/Q_O.
+	SelectSingle
+)
+
+func (s SelectorKind) String() string {
+	switch s {
+	case SelectGSS:
+		return "GSS"
+	case SelectGSSPlus:
+		return "GSS+"
+	case SelectBB:
+		return "B&B"
+	case SelectAlphaBB:
+		return "α-B&B"
+	case SelectRandom:
+		return "Random"
+	case SelectSingle:
+		return "Single"
+	default:
+		return fmt.Sprintf("SelectorKind(%d)", int(s))
+	}
+}
+
+// Config parameterizes a cleaning session. Zero values select the
+// paper's defaults where one exists.
+type Config struct {
+	Query *vql.Query
+
+	// K is the CQG size (paper default 10).
+	K int
+	// Selector picks the CQG selection algorithm (default GSS).
+	Selector SelectorKind
+	// Alpha is the approximation ratio for SelectAlphaBB (default 5).
+	Alpha float64
+	// BBMaxExpansions bounds B&B search work per iteration (default 2e5).
+	BBMaxExpansions int
+
+	// Dist is the visualization distance. The default is
+	// distance.Default: label-aligned EMD (positional for binned axes,
+	// total variation for categorical ones). distance.EMD is the
+	// paper's literal Eq. (1)–(4) — see DESIGN.md for why it is not the
+	// default.
+	Dist distance.Func
+
+	// RF configures the entity-matching forest.
+	RF rf.Config
+	// ClusterThreshold is the auto-merge probability (default 0.5).
+	ClusterThreshold float64
+	// SimJoinThreshold is Algorithm 1's λ (default 0.4).
+	SimJoinThreshold float64
+	// ImputeK is the kNN neighbourhood (default 5, §IV).
+	ImputeK int
+
+	// Question caps bound per-iteration ERG size (and benefit-model
+	// work). Defaults: 40 T, 30 A, 15 M, 15 O.
+	MaxT, MaxA, MaxM, MaxO int
+
+	// Seed drives every stochastic component.
+	Seed int64
+
+	// Ablation switches (see DESIGN.md "Design deviations" and the
+	// BenchmarkAblation_* benches): disable individual stabilizing
+	// mechanisms to measure their contribution.
+	//
+	// NoGeneralization turns off transformation-rule learning: only
+	// explicitly approved value pairs standardize.
+	NoGeneralization bool
+	// NoHysteresis rebuilds the auto-merge set from the raw threshold
+	// each iteration instead of the Schmitt-trigger rule.
+	NoHysteresis bool
+
+	// TruthVis, when set, lets reports include the distance to the
+	// ground-truth visualization (the experiments' EMD(Q(D), Q(D_g))).
+	TruthVis *vis.Data
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.K == 0 {
+		out.K = 10
+	}
+	if out.Alpha == 0 {
+		out.Alpha = 5
+	}
+	if out.BBMaxExpansions == 0 {
+		out.BBMaxExpansions = 200000
+	}
+	if out.Dist == nil {
+		out.Dist = distance.Default
+	}
+	if out.RF.NumTrees == 0 {
+		out.RF = rf.DefaultConfig()
+		out.RF.Seed = c.Seed + 1
+	}
+	if out.ClusterThreshold == 0 {
+		out.ClusterThreshold = 0.5
+	}
+	if out.SimJoinThreshold == 0 {
+		out.SimJoinThreshold = 0.4
+	}
+	if out.ImputeK == 0 {
+		out.ImputeK = impute.DefaultK
+	}
+	if out.MaxT == 0 {
+		out.MaxT = 40
+	}
+	if out.MaxA == 0 {
+		out.MaxA = 30
+	}
+	if out.MaxM == 0 {
+		out.MaxM = 15
+	}
+	if out.MaxO == 0 {
+		out.MaxO = 15
+	}
+	return out
+}
+
+// Session is one interactive cleaning run over one table and one query.
+type Session struct {
+	cfg   Config
+	table *dataset.Table
+	query *vql.Query
+
+	xCol int // x-axis column index
+	yCol int // y-axis (measure) column index
+
+	// aColumns are the categorical columns eligible for A-questions: the
+	// X axis if categorical, plus categorical WHERE columns (the paper's
+	// Q7 cleans Venue synonyms inside the predicate).
+	aColumns []int
+
+	matcher    *em.Matcher
+	candidates []em.Pair
+	probCache  map[em.Pair]float64
+	// featCache holds per-pair feature vectors; entries touching a tuple
+	// whose cells changed (dirtyIDs) are recomputed at the next refresh.
+	featCache map[em.Pair][]float64
+	dirtyIDs  map[dataset.TupleID]struct{}
+	// mergeList is the threshold-filtered, probability-sorted candidate
+	// list, shared by every clustering rebuild within an iteration.
+	mergeList []em.ScoredPair
+	// prevMerged is the last iteration's auto-merge set, input to the
+	// hysteresis rule (see hysteresisMergeList).
+	prevMerged map[em.Pair]struct{}
+	confirmed  []em.Pair
+	split      []em.Pair
+	// userLabeled is set once the user answers a first T-question. Until
+	// then the model (trained only on bootstrap pseudo-labels) is used
+	// for probabilities and active learning but not for auto-merging, so
+	// the initial visualization is the raw dirty chart — the paper's
+	// Fig 10(a) starting point.
+	userLabeled bool
+
+	// std holds the current per-column synonym classes. It is rebuilt
+	// from aApproved/aRejected on every model refresh: approvals union
+	// value classes unless a rejection (cannot-link) contradicts the
+	// merge — this is what lets later correct answers cut an earlier
+	// wrong merge (Exp-3's wrong-label tolerance).
+	std       map[string]*goldenrec.Standardizer
+	aApproved []aKey
+	aRejected []aKey
+
+	answeredA map[aKey]struct{}
+	answeredM map[dataset.TupleID]struct{}
+	answeredO map[dataset.TupleID]struct{}
+
+	clusters *em.Clusters
+	iter     int
+}
+
+type aKey struct {
+	col, v1, v2 string
+}
+
+func makeAKey(col, v1, v2 string) aKey {
+	if v1 > v2 {
+		v1, v2 = v2, v1
+	}
+	return aKey{col: col, v1: v1, v2: v2}
+}
+
+// NewSession initializes VisClean over a dirty table (framework steps
+// 1–2): it validates the query, generates EM candidates via blocking,
+// bootstraps the matching model with distant-supervision pseudo-labels,
+// and builds the initial clustering. keyColumns are the blocking keys.
+func NewSession(table *dataset.Table, query *vql.Query, keyColumns []int, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := query.Validate(table.Schema()); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:       cfg,
+		table:     table.Clone(), // never mutate the caller's table
+		query:     query,
+		xCol:      table.ColumnIndex(query.X),
+		yCol:      table.ColumnIndex(query.Y),
+		std:       map[string]*goldenrec.Standardizer{},
+		answeredA: map[aKey]struct{}{},
+		answeredM: map[dataset.TupleID]struct{}{},
+		answeredO: map[dataset.TupleID]struct{}{},
+	}
+
+	schema := table.Schema()
+	seen := map[int]struct{}{}
+	addACol := func(c int) {
+		if c < 0 || schema[c].Kind != dataset.String {
+			return
+		}
+		if _, dup := seen[c]; dup {
+			return
+		}
+		seen[c] = struct{}{}
+		s.aColumns = append(s.aColumns, c)
+	}
+	addACol(s.xCol)
+	for _, p := range query.Where {
+		if !p.IsNum {
+			addACol(schema.Index(p.Column))
+		}
+	}
+	s.rebuildStandardizers()
+
+	s.matcher = em.NewMatcher(s.table, cfg.RF)
+	s.candidates = em.Candidates(s.table, em.BlockingConfig{KeyColumns: keyColumns})
+	s.bootstrapMatcher()
+	s.refreshModel()
+	return s, nil
+}
+
+// bootstrapMatcher seeds the EM model with distant-supervision pseudo-
+// labels: the candidate pairs the similarity heuristic ranks as most and
+// least similar, gated by absolute sanity thresholds. No ground truth
+// and no user budget is consumed. Rank-based selection matters because
+// the heuristic's absolute scale shifts with the schema (a table with
+// many near-constant numeric columns floats every pair's score up).
+func (s *Session) bootstrapMatcher() {
+	const maxSeedPerClass = 30
+	type scored struct {
+		p  em.Pair
+		pr float64
+	}
+	all := make([]scored, 0, len(s.candidates))
+	for _, p := range s.candidates {
+		all = append(all, scored{p: p, pr: s.matcher.Prob(s.table, p)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pr != all[j].pr {
+			return all[i].pr > all[j].pr
+		}
+		if all[i].p.A != all[j].p.A {
+			return all[i].p.A < all[j].p.A
+		}
+		return all[i].p.B < all[j].p.B
+	})
+	pos := 0
+	for _, sc := range all {
+		if pos >= maxSeedPerClass || sc.pr < 0.88 {
+			break
+		}
+		s.matcher.AddLabel(sc.p, true)
+		pos++
+	}
+	neg := 0
+	for i := len(all) - 1; i >= 0; i-- {
+		sc := all[i]
+		if neg >= maxSeedPerClass || sc.pr > 0.55 {
+			break
+		}
+		s.matcher.AddLabel(sc.p, false)
+		neg++
+	}
+}
+
+// refreshModel retrains the matcher, refreshes the probability cache,
+// rebuilds the synonym classes from the accumulated A votes and rebuilds
+// the entity clustering (framework step 6's model update).
+func (s *Session) refreshModel() {
+	_ = s.matcher.Train(s.table) // single-class training silently keeps the heuristic
+	if s.featCache == nil {
+		s.featCache = make(map[em.Pair][]float64, len(s.candidates))
+	}
+	s.probCache = make(map[em.Pair]float64, len(s.candidates))
+	for _, p := range s.candidates {
+		feats, ok := s.featCache[p]
+		if !ok || s.pairDirty(p) {
+			feats = s.matcher.Features(s.table, p)
+			s.featCache[p] = feats
+		}
+		s.probCache[p] = s.matcher.ProbWithFeatures(p, feats)
+	}
+	s.dirtyIDs = nil
+	if s.userLabeled {
+		s.mergeList = s.hysteresisMergeList()
+	} else {
+		s.mergeList = nil // no auto-merging before the first user label
+	}
+	s.rebuildStandardizers()
+	s.clusters = s.buildClusters(nil, nil)
+}
+
+// hysteresisMergeList selects the auto-merge pairs with a Schmitt-
+// trigger rule: an unmerged pair merges when its probability clears
+// threshold+margin, and a previously merged pair stays merged until it
+// falls below threshold−margin. Retraining on a handful of new labels
+// moves marginal probabilities a little every iteration; without the
+// hysteresis those pairs flap in and out of the entity set and the
+// visualization thrashes.
+func (s *Session) hysteresisMergeList() []em.ScoredPair {
+	margin := 0.07
+	if s.cfg.NoHysteresis {
+		margin = 0
+	}
+	th := s.cfg.ClusterThreshold
+	merged := make(map[em.Pair]struct{}, len(s.prevMerged))
+	keep := func(p em.Pair, pr float64) bool {
+		if pr >= th+margin {
+			return true
+		}
+		if _, was := s.prevMerged[p]; was && pr >= th-margin {
+			return true
+		}
+		return false
+	}
+	var list []em.ScoredPair
+	for _, p := range s.candidates {
+		pr := s.prob(p)
+		if keep(p, pr) {
+			list = append(list, em.ScoredPair{Pair: p, Prob: pr})
+			merged[p] = struct{}{}
+		}
+	}
+	sortScored(list)
+	s.prevMerged = merged
+	return list
+}
+
+func sortScored(list []em.ScoredPair) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Prob != list[j].Prob {
+			return list[i].Prob > list[j].Prob
+		}
+		if list[i].Pair.A != list[j].Pair.A {
+			return list[i].Pair.A < list[j].Pair.A
+		}
+		return list[i].Pair.B < list[j].Pair.B
+	})
+}
+
+func (s *Session) pairDirty(p em.Pair) bool {
+	if len(s.dirtyIDs) == 0 {
+		return false
+	}
+	if _, ok := s.dirtyIDs[p.A]; ok {
+		return true
+	}
+	_, ok := s.dirtyIDs[p.B]
+	return ok
+}
+
+// markDirty records that a tuple's cells changed, invalidating cached
+// pair features that involve it.
+func (s *Session) markDirty(id dataset.TupleID) {
+	if s.dirtyIDs == nil {
+		s.dirtyIDs = map[dataset.TupleID]struct{}{}
+	}
+	s.dirtyIDs[id] = struct{}{}
+}
+
+// rebuildStandardizers reconstructs the per-column synonym classes from
+// scratch: approvals merge value classes unless the merge would put a
+// rejected pair into one class. On top of the literal approvals, learned
+// transformation rules generalize them (see generalizeApprovals) —
+// VisClean's Strategy-1 substrate is an unsupervised string
+// transformation learner [11], and without generalization a budget of
+// ~15 composite questions cannot touch hundreds of distinct variant
+// spellings.
+func (s *Session) rebuildStandardizers() {
+	schema := s.table.Schema()
+	s.std = map[string]*goldenrec.Standardizer{}
+	for _, c := range s.aColumns {
+		s.std[schema[c].Name] = goldenrec.NewStandardizer(s.table, c)
+	}
+	for _, ap := range s.aApproved {
+		st := s.std[ap.col]
+		if st == nil || s.approveViolatesReject(st, ap) {
+			continue
+		}
+		st.Approve(ap.v1, ap.v2)
+	}
+	if s.cfg.NoGeneralization {
+		return
+	}
+	for _, c := range s.aColumns {
+		s.generalizeApprovals(c, schema[c].Name)
+	}
+}
+
+// generalizeApprovals feeds the user's approvals into a transformation
+// learner (the paper's GoldenRecordCreation substrate [11], see
+// internal/transform) and standardizes every group of column values the
+// learned rules predict equivalent: approving "ACM SIGMOD" ≈ "SIGMOD"
+// also merges "ACM KDD" into "KDD" without ever asking. A generalized
+// merge is skipped when a user rejection contradicts it, so wrong
+// generalizations are correctable (Exp-3 robustness).
+func (s *Session) generalizeApprovals(col int, name string) {
+	learner := transform.NewLearner()
+	taught := false
+	for _, ap := range s.aApproved {
+		if ap.col != name {
+			continue
+		}
+		learner.Observe(ap.v1, ap.v2)
+		taught = true
+	}
+	if !taught {
+		return
+	}
+	values := make([]string, 0)
+	for v := range s.table.DistinctStrings(col) {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	st := s.std[name]
+	for _, group := range learner.Groups(values) {
+		for _, v := range group[1:] {
+			key := makeAKey(name, group[0], v)
+			if !s.approveViolatesReject(st, key) {
+				st.Approve(group[0], v)
+			}
+		}
+	}
+}
+
+// approveViolatesReject reports whether unioning ap's two values would
+// join any rejected pair of the same column into one class.
+func (s *Session) approveViolatesReject(st *goldenrec.Standardizer, ap aKey) bool {
+	for _, rj := range s.aRejected {
+		if rj.col != ap.col {
+			continue
+		}
+		cross := (st.SameClass(rj.v1, ap.v1) && st.SameClass(rj.v2, ap.v2)) ||
+			(st.SameClass(rj.v1, ap.v2) && st.SameClass(rj.v2, ap.v1))
+		if cross {
+			return true
+		}
+	}
+	return false
+}
+
+// prob returns the cached matching probability of a candidate pair.
+func (s *Session) prob(p em.Pair) float64 {
+	if pr, ok := s.probCache[p]; ok {
+		return pr
+	}
+	return s.matcher.Prob(s.table, p)
+}
+
+// buildClusters builds the entity partition under the accumulated user
+// constraints plus optional extra hypothetical ones.
+func (s *Session) buildClusters(extraConfirm, extraSplit []em.Pair) *em.Clusters {
+	conf := s.confirmed
+	spl := s.split
+	if len(extraConfirm) > 0 {
+		conf = append(append([]em.Pair(nil), conf...), extraConfirm...)
+	}
+	if len(extraSplit) > 0 {
+		spl = append(append([]em.Pair(nil), spl...), extraSplit...)
+	}
+	return em.BuildClustersSorted(s.table, s.mergeList, em.ClusterConfig{
+		Threshold: s.cfg.ClusterThreshold,
+		Confirmed: conf,
+		Split:     spl,
+	})
+}
+
+// Table returns the session's working table (with user repairs applied).
+func (s *Session) Table() *dataset.Table { return s.table }
+
+// Query returns the session's visualization query.
+func (s *Session) Query() *vql.Query { return s.query }
+
+// Iteration returns the number of completed iterations.
+func (s *Session) Iteration() int { return s.iter }
+
+// Timings breaks down one iteration's machine time per framework
+// component (Fig 18's categories).
+type Timings struct {
+	Detect   time.Duration // error detection: Q_T/Q_A/Q_M/Q_O generation
+	BuildERG time.Duration // ERG construction
+	Benefit  time.Duration // estimation-based benefit model
+	Select   time.Duration // CQG selection
+	Apply    time.Duration // repairing data from answers
+	Train    time.Duration // model retraining + cluster refresh
+}
+
+// Total sums all components.
+func (t Timings) Total() time.Duration {
+	return t.Detect + t.BuildERG + t.Benefit + t.Select + t.Apply + t.Train
+}
+
+// Report describes one iteration's outcome.
+type Report struct {
+	Iteration int
+	Selector  string
+	// CQGVertices / CQGEdges describe the asked composite question
+	// (zero for the Single baseline).
+	CQGVertices int
+	CQGEdges    int
+	// Questions asked, split by kind, and how many went unanswered
+	// (incomplete user input).
+	TQuestions, AQuestions, MQuestions, OQuestions int
+	Unanswered                                     int
+	// EstimatedBenefit is the selected CQG's modeled benefit.
+	EstimatedBenefit float64
+	// DistToTruth is dist(Q(D), Q(D_g)) when Config.TruthVis is set.
+	DistToTruth float64
+	// DistMoved is dist(previous vis, new vis): the actual change.
+	DistMoved float64
+	// Exhausted reports that the ERG ran out of questions.
+	Exhausted bool
+	Timings   Timings
+}
+
+// Questions returns the total number of questions asked this iteration.
+func (r Report) Questions() int {
+	return r.TQuestions + r.AQuestions + r.MQuestions + r.OQuestions
+}

@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"sort"
+
+	"visclean/internal/benefit"
+	"visclean/internal/em"
+	"visclean/internal/vis"
+)
+
+// runSingleIteration implements the paper's Single baseline (§VII): in
+// each iteration, instead of one CQG, ask m single questions in
+// isolation — m/4 drawn from each of Q_T, Q_A, Q_M and Q_O, most
+// beneficial first. m is the number of questions a k-vertex CQG would
+// carry (k−1 edges plus one vertex repair ≈ k), keeping the unit cost
+// comparable per the paper's fairness argument.
+func (s *Session) runSingleIteration(user User, qs questionSet, before *vis.Data, rep *Report) error {
+	m := s.cfg.K
+	if m < 4 {
+		m = 4
+	}
+	perKind := m / 4
+
+	est := &benefit.Estimator{
+		Dist:         s.cfg.Dist,
+		Base:         before,
+		Hypothetical: s.hypotheticalVis,
+	}
+
+	type scoredQ struct {
+		kind    int // 0=T 1=A 2=M 3=O
+		idx     int
+		benefit float64
+	}
+	var pool []scoredQ
+	for i, sp := range qs.T {
+		pool = append(pool, scoredQ{kind: 0, idx: i, benefit: est.TBenefit(sp.Pair, sp.Prob)})
+	}
+	for i, a := range qs.A {
+		pool = append(pool, scoredQ{kind: 1, idx: i, benefit: est.ABenefit(a.name, a.v1, a.v2, a.sim)})
+	}
+	for i, mq := range qs.M {
+		pool = append(pool, scoredQ{kind: 2, idx: i, benefit: est.MBenefit(mq.ID, mq.Value)})
+	}
+	for i, o := range qs.O {
+		pool = append(pool, scoredQ{kind: 3, idx: i, benefit: est.OBenefit(o.ID, o.Repair)})
+	}
+	if len(pool) == 0 {
+		rep.Exhausted = true
+		return nil
+	}
+	sort.SliceStable(pool, func(a, b int) bool { return pool[a].benefit > pool[b].benefit })
+
+	// Take up to perKind from each kind, then fill remaining slots with
+	// the globally best leftovers.
+	taken := make([]scoredQ, 0, m)
+	counts := [4]int{}
+	var leftovers []scoredQ
+	for _, q := range pool {
+		if counts[q.kind] < perKind {
+			taken = append(taken, q)
+			counts[q.kind]++
+		} else {
+			leftovers = append(leftovers, q)
+		}
+	}
+	for _, q := range leftovers {
+		if len(taken) >= m {
+			break
+		}
+		taken = append(taken, q)
+	}
+	if len(taken) > m {
+		taken = taken[:m]
+	}
+
+	yName := s.table.Schema()[s.yCol].Name
+	for _, q := range taken {
+		rep.EstimatedBenefit += q.benefit
+		switch q.kind {
+		case 0:
+			sp := qs.T[q.idx]
+			rep.TQuestions++
+			match, answered := user.AnswerT(sp.Pair.A, sp.Pair.B)
+			if !answered {
+				rep.Unanswered++
+				continue
+			}
+			s.applyT(em.MakePair(sp.Pair.A, sp.Pair.B), match)
+		case 1:
+			a := qs.A[q.idx]
+			rep.AQuestions++
+			same, answered := user.AnswerA(a.name, a.v1, a.v2)
+			if !answered {
+				rep.Unanswered++
+				continue
+			}
+			s.applyA(a.name, a.v1, a.v2, same)
+		case 2:
+			mq := qs.M[q.idx]
+			rep.MQuestions++
+			v, answered := user.AnswerM(yName, mq.ID)
+			if !answered {
+				rep.Unanswered++
+				continue
+			}
+			s.applyM(mq.ID, v)
+		case 3:
+			o := qs.O[q.idx]
+			rep.OQuestions++
+			isOut, v, answered := user.AnswerO(yName, o.ID, o.Value)
+			if !answered {
+				rep.Unanswered++
+				continue
+			}
+			s.applyO(o.ID, isOut, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package pipeline
+
+import (
+	"sort"
+
+	"visclean/internal/benefit"
+	"visclean/internal/dataset"
+	"visclean/internal/em"
+	"visclean/internal/goldenrec"
+	"visclean/internal/vis"
+)
+
+// buildView derives the cleaned relation the visualization runs over:
+// entity clusters consolidate into one record each (golden record), and
+// every A-question column is rewritten to its canonical value. The
+// session's working table is untouched.
+//
+// Consolidation resolves each column by majority vote over the cluster's
+// non-null values; numeric ties resolve to the median (the paper's
+// ground-truth Table II consolidates Elaps' 42 and 44 citations to 43),
+// string ties to the lexicographically smallest most-frequent value.
+func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardizer) *dataset.Table {
+	schema := s.table.Schema()
+	view := dataset.NewTable(schema)
+
+	canonical := func(c int, v dataset.Value) dataset.Value {
+		name := schema[c].Name
+		st := std[name]
+		if st == nil {
+			return v
+		}
+		txt, ok := v.Text()
+		if !ok {
+			return v
+		}
+		return dataset.Str(st.Canonical(txt))
+	}
+
+	for _, group := range cl.Groups(1) {
+		if len(group) == 1 {
+			row, ok := s.table.RowByID(group[0])
+			if !ok {
+				continue
+			}
+			out := make([]dataset.Value, len(row))
+			for c, v := range row {
+				out[c] = canonical(c, v)
+			}
+			view.MustAppend(out)
+			continue
+		}
+		out := make([]dataset.Value, len(schema))
+		for c := range schema {
+			var vals []dataset.Value
+			for _, id := range group {
+				v, ok := s.table.GetByID(id, c)
+				if !ok {
+					continue
+				}
+				vals = append(vals, canonical(c, v))
+			}
+			out[c] = resolve(vals, schema[c].Kind)
+		}
+		view.MustAppend(out)
+	}
+	return view
+}
+
+// resolve elects the consolidated value of a column within one cluster.
+func resolve(vals []dataset.Value, kind dataset.Kind) dataset.Value {
+	counts := map[string]int{}
+	byKey := map[string]dataset.Value{}
+	var nums []float64
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		key := v.String()
+		counts[key]++
+		byKey[key] = v
+		if f, ok := v.Float(); ok {
+			nums = append(nums, f)
+		}
+	}
+	if len(counts) == 0 {
+		return dataset.Null(kind)
+	}
+	// Majority, deterministic tiebreaks.
+	bestKey := ""
+	bestCount := 0
+	tie := false
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch {
+		case counts[k] > bestCount:
+			bestKey, bestCount, tie = k, counts[k], false
+		case counts[k] == bestCount:
+			tie = true
+		}
+	}
+	if !tie || kind == dataset.String {
+		return byKey[bestKey]
+	}
+	// Numeric tie: median of all non-null values.
+	sort.Float64s(nums)
+	mid := len(nums) / 2
+	if len(nums)%2 == 1 {
+		return dataset.Num(nums[mid])
+	}
+	return dataset.Num((nums[mid-1] + nums[mid]) / 2)
+}
+
+// CurrentVis computes the visualization over the current cleaned view
+// (framework step 7).
+func (s *Session) CurrentVis() (*vis.Data, error) {
+	view := s.buildView(s.clusters, s.std)
+	return s.query.Execute(view)
+}
+
+// CleanedView materializes the current cleaned relation: entity clusters
+// consolidated into golden records and attribute values standardized.
+// Per the paper's closing remark, these repairs are best treated as a
+// materialized view / suggestions for a DBA rather than destructive
+// updates — this accessor is that view.
+func (s *Session) CleanedView() *dataset.Table {
+	return s.buildView(s.clusters, s.std)
+}
+
+// hypotheticalVis derives the visualization that one hypothetical user
+// answer would produce, leaving all session state untouched. Returns nil
+// when the hypothesis is inapplicable (e.g. a vanished tuple).
+func (s *Session) hypotheticalVis(h benefit.Hypothesis) *vis.Data {
+	switch h.Kind {
+	case benefit.TConfirm:
+		cl := s.buildClusters([]em.Pair{h.Pair}, nil)
+		// Confirming tuples also equates their A-column values (§VI
+		// label-edge semantics), so standardize them hypothetically.
+		std := s.std
+		if override := s.tPairStandardizers(h.Pair); override != nil {
+			std = override
+		}
+		return s.execView(cl, std)
+	case benefit.TSplit:
+		cl := s.buildClusters(nil, []em.Pair{h.Pair})
+		return s.execView(cl, s.std)
+	case benefit.AApprove:
+		st := s.std[h.Column]
+		if st == nil {
+			return nil
+		}
+		override := cloneStdMap(s.std)
+		clone := st.Clone()
+		clone.Approve(h.V1, h.V2)
+		override[h.Column] = clone
+		return s.execView(s.clusters, override)
+	case benefit.MImpute, benefit.ORepair:
+		i, ok := s.table.RowIndex(h.ID)
+		if !ok {
+			return nil
+		}
+		old := s.table.Get(i, s.yCol)
+		if err := s.table.Set(i, s.yCol, dataset.Num(h.Value)); err != nil {
+			return nil
+		}
+		out := s.execView(s.clusters, s.std)
+		_ = s.table.Set(i, s.yCol, old) // restore
+		return out
+	default:
+		return nil
+	}
+}
+
+// tPairStandardizers returns a standardizer override where the pair's
+// values in every A-column are equated, or nil when nothing changes.
+func (s *Session) tPairStandardizers(p em.Pair) map[string]*goldenrec.Standardizer {
+	schema := s.table.Schema()
+	var override map[string]*goldenrec.Standardizer
+	for _, c := range s.aColumns {
+		va, okA := s.table.GetByID(p.A, c)
+		vb, okB := s.table.GetByID(p.B, c)
+		if !okA || !okB {
+			continue
+		}
+		ta, okA := va.Text()
+		tb, okB := vb.Text()
+		if !okA || !okB || ta == tb {
+			continue
+		}
+		name := schema[c].Name
+		if override == nil {
+			override = cloneStdMap(s.std)
+		}
+		clone := override[name].Clone()
+		clone.Approve(ta, tb)
+		override[name] = clone
+	}
+	return override
+}
+
+func cloneStdMap(in map[string]*goldenrec.Standardizer) map[string]*goldenrec.Standardizer {
+	out := make(map[string]*goldenrec.Standardizer, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// execView builds the view and executes the query, returning nil on
+// execution errors (hypotheses must never abort an iteration).
+func (s *Session) execView(cl *em.Clusters, std map[string]*goldenrec.Standardizer) *vis.Data {
+	view := s.buildView(cl, std)
+	d, err := s.query.Execute(view)
+	if err != nil {
+		return nil
+	}
+	return d
+}

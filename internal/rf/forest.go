@@ -1,0 +1,110 @@
+package rf
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config holds the forest hyperparameters. The zero value is unusable;
+// start from DefaultConfig.
+type Config struct {
+	NumTrees    int     // bagged trees
+	MaxDepth    int     // maximum tree depth
+	MinLeaf     int     // minimum samples per leaf
+	FeatureFrac float64 // fraction of features considered per split
+	Seed        int64   // RNG seed; training is deterministic given it
+}
+
+// DefaultConfig returns the hyperparameters used throughout VisClean.
+// Entity-matching feature vectors are short (one similarity per
+// attribute), so modest trees generalize well and retrain fast — which
+// matters because the pipeline retrains after every iteration (Fig 18
+// attributes most machine time to Train Models).
+func DefaultConfig() Config {
+	return Config{NumTrees: 48, MaxDepth: 6, MinLeaf: 3, FeatureFrac: 0.7, Seed: 1}
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	trees    []*node
+	features int
+}
+
+// Train fits a forest on feature matrix x and binary labels y (0 or 1).
+// Every row of x must have the same length. It returns an error on empty
+// or malformed input; single-class training sets are allowed (the forest
+// then predicts that class's frequency, i.e. 0 or 1).
+func Train(x [][]float64, y []int, cfg Config) (*Forest, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("rf: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("rf: %d rows but %d labels", len(x), len(y))
+	}
+	nf := len(x[0])
+	if nf == 0 {
+		return nil, fmt.Errorf("rf: rows have no features")
+	}
+	for i, row := range x {
+		if len(row) != nf {
+			return nil, fmt.Errorf("rf: row %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	for i, label := range y {
+		if label != 0 && label != 1 {
+			return nil, fmt.Errorf("rf: label %d at row %d is not binary", label, i)
+		}
+	}
+	if cfg.NumTrees < 1 || cfg.MaxDepth < 1 || cfg.MinLeaf < 1 {
+		return nil, fmt.Errorf("rf: invalid config %+v", cfg)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tc := treeConfig{maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, featureFrac: cfg.FeatureFrac}
+	f := &Forest{features: nf}
+	n := len(x)
+	for t := 0; t < cfg.NumTrees; t++ {
+		// Bootstrap sample with replacement.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.trees = append(f.trees, buildTree(x, y, idx, 0, tc, rng))
+	}
+	return f, nil
+}
+
+// PredictProba returns the forest's estimate of P(label == 1): the mean
+// of the leaf probabilities across trees, always in [0, 1].
+func (f *Forest) PredictProba(x []float64) float64 {
+	if len(x) != f.features {
+		panic(fmt.Sprintf("rf: predict with %d features, trained on %d", len(x), f.features))
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Predict returns the hard classification at threshold 0.5.
+func (f *Forest) Predict(x []float64) int {
+	if f.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// NumTrees reports the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// MaxDepth reports the deepest tree's height, for introspection in tests.
+func (f *Forest) MaxDepth() int {
+	d := 0
+	for _, t := range f.trees {
+		if td := t.depth(); td > d {
+			d = td
+		}
+	}
+	return d
+}

@@ -1,0 +1,155 @@
+package stringsim
+
+import (
+	"sort"
+)
+
+// Pair is one similarity-join result: indices into the two input slices
+// and the token-Jaccard similarity of the joined strings.
+type Pair struct {
+	I, J int
+	Sim  float64
+}
+
+// Join finds all pairs (a[i], b[j]) with token-Jaccard similarity strictly
+// greater than threshold, using the prefix-filtering technique from the
+// string-similarity-join literature [16]: tokens are ordered by global
+// frequency (rare first), and two strings can only reach the threshold if
+// their rare-token prefixes share at least one token. Self-join callers
+// pass the same slice twice and drop i >= j pairs themselves.
+//
+// The result is sorted by descending similarity, ties broken by (I, J),
+// so downstream question generation is deterministic.
+func Join(a, b []string, threshold float64) []Pair {
+	if threshold < 0 || threshold >= 1 {
+		// threshold==1 would require identical token sets; allow it via
+		// clamping rather than erroring, but negative thresholds are bugs.
+		if threshold < 0 {
+			threshold = 0
+		}
+	}
+	tokensA := tokenize(a)
+	tokensB := tokenize(b)
+
+	// Global token frequency across both sides defines the canonical
+	// token order for prefix filtering.
+	freq := make(map[string]int)
+	for _, ts := range tokensA {
+		for _, t := range ts {
+			freq[t]++
+		}
+	}
+	for _, ts := range tokensB {
+		for _, t := range ts {
+			freq[t]++
+		}
+	}
+	order := func(ts []string) {
+		sort.Slice(ts, func(x, y int) bool {
+			if freq[ts[x]] != freq[ts[y]] {
+				return freq[ts[x]] < freq[ts[y]]
+			}
+			return ts[x] < ts[y]
+		})
+	}
+	for _, ts := range tokensA {
+		order(ts)
+	}
+	for _, ts := range tokensB {
+		order(ts)
+	}
+
+	// Index side B by prefix tokens. For Jaccard threshold t, a string of
+	// length l needs overlap with any match in its first l - ceil(t*l) + 1
+	// tokens.
+	index := make(map[string][]int)
+	for j, ts := range tokensB {
+		for _, tok := range prefix(ts, threshold) {
+			index[tok] = append(index[tok], j)
+		}
+	}
+
+	seen := make(map[[2]int]struct{})
+	var out []Pair
+	for i, ts := range tokensA {
+		candidates := make(map[int]struct{})
+		for _, tok := range prefix(ts, threshold) {
+			for _, j := range index[tok] {
+				candidates[j] = struct{}{}
+			}
+		}
+		for j := range candidates {
+			key := [2]int{i, j}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			sim := JaccardSets(setOf(ts), setOf(tokensB[j]))
+			if sim > threshold {
+				out = append(out, Pair{I: i, J: j, Sim: sim})
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Sim != out[y].Sim {
+			return out[x].Sim > out[y].Sim
+		}
+		if out[x].I != out[y].I {
+			return out[x].I < out[y].I
+		}
+		return out[x].J < out[y].J
+	})
+	return out
+}
+
+// SelfJoin finds all unordered pairs within vals whose token-Jaccard
+// similarity exceeds threshold.
+func SelfJoin(vals []string, threshold float64) []Pair {
+	all := Join(vals, vals, threshold)
+	out := all[:0]
+	for _, p := range all {
+		if p.I < p.J {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func tokenize(ss []string) [][]string {
+	out := make([][]string, len(ss))
+	for i, s := range ss {
+		set := TokenSet(s)
+		ts := make([]string, 0, len(set))
+		for t := range set {
+			ts = append(ts, t)
+		}
+		out[i] = ts
+	}
+	return out
+}
+
+// prefix returns the prefix-filter tokens of a frequency-ordered token
+// list for the given Jaccard threshold.
+func prefix(ts []string, threshold float64) []string {
+	l := len(ts)
+	if l == 0 {
+		return nil
+	}
+	need := l - int(ceilMul(threshold, l)) + 1
+	if need < 1 {
+		need = 1
+	}
+	if need > l {
+		need = l
+	}
+	return ts[:need]
+}
+
+func ceilMul(t float64, l int) float64 {
+	v := t * float64(l)
+	iv := float64(int(v))
+	if v > iv {
+		return iv + 1
+	}
+	return iv
+}

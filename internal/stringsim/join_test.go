@@ -1,0 +1,133 @@
+package stringsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestJoinFindsVenueSynonyms(t *testing.T) {
+	a := []string{"SIGMOD", "VLDB", "ICDE 2013"}
+	b := []string{"SIGMOD Conf.", "Very Large Data Bases", "ICDE"}
+	pairs := Join(a, b, 0.3)
+	found := map[[2]int]bool{}
+	for _, p := range pairs {
+		found[[2]int{p.I, p.J}] = true
+	}
+	if !found[[2]int{0, 0}] {
+		t.Error("SIGMOD ~ SIGMOD Conf. not found")
+	}
+	if !found[[2]int{2, 2}] {
+		t.Error("ICDE 2013 ~ ICDE not found")
+	}
+	if found[[2]int{1, 1}] {
+		t.Error("VLDB should not match Very Large Data Bases at token level")
+	}
+}
+
+func TestJoinSortedByDescSim(t *testing.T) {
+	a := []string{"a b c", "a b", "a"}
+	pairs := Join(a, []string{"a b c"}, 0.1)
+	if !sort.SliceIsSorted(pairs, func(i, j int) bool {
+		if pairs[i].Sim != pairs[j].Sim {
+			return pairs[i].Sim > pairs[j].Sim
+		}
+		if pairs[i].I != pairs[j].I {
+			return pairs[i].I < pairs[j].I
+		}
+		return pairs[i].J < pairs[j].J
+	}) {
+		t.Fatalf("pairs not sorted: %v", pairs)
+	}
+}
+
+func TestSelfJoinNoSelfOrMirrorPairs(t *testing.T) {
+	vals := []string{"SIGMOD", "SIGMOD Conf.", "ACM SIGMOD", "VLDB"}
+	pairs := SelfJoin(vals, 0.2)
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p.I >= p.J {
+			t.Fatalf("self-join emitted non-canonical pair %v", p)
+		}
+		if seen[[2]int{p.I, p.J}] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[[2]int{p.I, p.J}] = true
+	}
+	if len(pairs) == 0 {
+		t.Fatal("expected at least one synonym pair")
+	}
+}
+
+func TestJoinNegativeThresholdClamped(t *testing.T) {
+	// Must not panic; behaves as threshold 0.
+	pairs := Join([]string{"a"}, []string{"a"}, -1)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	if p := Join(nil, []string{"x"}, 0.5); len(p) != 0 {
+		t.Fatal("empty left side should yield no pairs")
+	}
+	if p := Join([]string{""}, []string{""}, 0.5); len(p) != 1 {
+		// Two empty token sets have Jaccard 1 > 0.5; but prefix filter has
+		// nothing to index. Accept either 0 or 1 results? No: we document
+		// that empty strings never join (no tokens to index on).
+		if len(p) != 0 {
+			t.Fatalf("unexpected pairs for empty strings: %v", p)
+		}
+	}
+}
+
+// Property: prefix-filtered join is complete w.r.t. the brute-force join.
+func TestJoinMatchesBruteForce(t *testing.T) {
+	words := []string{"sigmod", "vldb", "icde", "conf", "acm", "ieee", "proc", "13", "2013", "intl"}
+	rng := rand.New(rand.NewSource(42))
+	randStr := func() string {
+		n := 1 + rng.Intn(4)
+		s := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s += " "
+			}
+			s += words[rng.Intn(len(words))]
+		}
+		return s
+	}
+	for trial := 0; trial < 30; trial++ {
+		na, nb := 1+rng.Intn(15), 1+rng.Intn(15)
+		a := make([]string, na)
+		b := make([]string, nb)
+		for i := range a {
+			a[i] = randStr()
+		}
+		for j := range b {
+			b[j] = randStr()
+		}
+		threshold := []float64{0.2, 0.5, 0.8}[rng.Intn(3)]
+
+		want := map[[2]int]float64{}
+		for i := range a {
+			for j := range b {
+				if sim := Jaccard(a[i], b[j]); sim > threshold {
+					want[[2]int{i, j}] = sim
+				}
+			}
+		}
+		got := map[[2]int]float64{}
+		for _, p := range Join(a, b, threshold) {
+			got[[2]int{p.I, p.J}] = p.Sim
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d threshold %v: join found %d pairs, brute force %d\na=%v\nb=%v",
+				trial, threshold, len(got), len(want), a, b)
+		}
+		for k, sim := range want {
+			if gs, ok := got[k]; !ok || !almostEq(gs, sim) {
+				t.Fatalf("trial %d: pair %v sim mismatch (got %v ok=%v, want %v)", trial, k, gs, ok, sim)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package stringsim implements the string similarity measures and the
+// set-similarity join that VisClean's cleaning components rely on:
+//
+//   - token and q-gram set similarities (Jaccard, Dice, cosine) used by
+//     the entity-matching features (§IV) and attribute-duplicate detection,
+//   - edit-based similarities (Levenshtein, Jaro-Winkler) used as extra
+//     matching features,
+//   - a prefix-filter string similarity join (Jiang et al. [16]) used by
+//     Algorithm 1 Strategy 2 to find cross-cluster synonym candidates.
+package stringsim
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases s and splits it into alphanumeric word tokens.
+// Punctuation such as the periods in "SIGMOD Conf." and apostrophes in
+// "SIGMOD'13" separate tokens, which is what lets those variants overlap.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// TokenSet returns the deduplicated token set of s.
+func TokenSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, tok := range Tokenize(s) {
+		set[tok] = struct{}{}
+	}
+	return set
+}
+
+// QGrams returns the padded character q-grams of the lower-cased string.
+// q must be >= 1; the string is padded with q-1 sentinel '#' characters on
+// both sides so short strings still produce grams.
+func QGrams(s string, q int) []string {
+	if q < 1 {
+		panic("stringsim: q must be >= 1")
+	}
+	pad := strings.Repeat("#", q-1)
+	runes := []rune(pad + strings.ToLower(s) + pad)
+	if len(runes) < q {
+		return nil
+	}
+	grams := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+q]))
+	}
+	return grams
+}
+
+func setOf(items []string) map[string]struct{} {
+	set := make(map[string]struct{}, len(items))
+	for _, it := range items {
+		set[it] = struct{}{}
+	}
+	return set
+}
+
+func overlap(a, b map[string]struct{}) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// JaccardSets computes |a∩b| / |a∪b| over two sets. Two empty sets have
+// similarity 1 (they are identical).
+func JaccardSets(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := overlap(a, b)
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Jaccard is token-set Jaccard similarity of two strings.
+func Jaccard(a, b string) float64 {
+	return JaccardSets(TokenSet(a), TokenSet(b))
+}
+
+// QGramJaccard is q-gram-set Jaccard similarity of two strings.
+func QGramJaccard(a, b string, q int) float64 {
+	return JaccardSets(setOf(QGrams(a, q)), setOf(QGrams(b, q)))
+}
+
+// Dice computes the Sørensen–Dice coefficient over token sets.
+func Dice(a, b string) float64 {
+	sa, sb := TokenSet(a), TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	return 2 * float64(overlap(sa, sb)) / float64(len(sa)+len(sb))
+}
+
+// Cosine computes the cosine similarity over token sets (binary weights).
+func Cosine(a, b string) float64 {
+	sa, sb := TokenSet(a), TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	return float64(overlap(sa, sb)) / math.Sqrt(float64(len(sa))*float64(len(sb)))
+}
+
+// Levenshtein returns the edit distance between a and b (unit costs).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSim normalizes edit distance into a [0,1] similarity.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Jaro computes the Jaro similarity of two strings.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(strings.ToLower(a)), []rune(strings.ToLower(b))
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	window := len(ra)
+	if len(rb) > window {
+		window = len(rb)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, len(ra))
+	matchedB := make([]bool, len(rb))
+	matches := 0
+	for i := range ra {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		for j := lo; j < hi; j++ {
+			if matchedB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchedA[i], matchedB[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-float64(transpositions)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common prefix,
+// with the standard scaling factor p=0.1 and prefix cap 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(strings.ToLower(a)), []rune(strings.ToLower(b))
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}

@@ -1,0 +1,68 @@
+// Package usercost models the human response time measured in the
+// paper's user study (Exp-2, Figs 15–16). The study's finding: answering
+// the questions of one composite question graph takes ~40% less time
+// than answering the same number of single questions in isolation,
+// because the CQG shares context (the same tuples, one table view, one
+// mental model) across its questions.
+//
+// The defaults are calibrated to Fig 15(a): 15 CQG iterations ≈ 520 s
+// (≈ 34.7 s each) versus 15 single-question groups ≈ 860 s (≈ 57.3 s
+// each) with k = 10 (≈ 9 edges per CQG).
+package usercost
+
+import "math/rand"
+
+// Model prices user interactions in seconds.
+type Model struct {
+	// SinglePerQuestion is the cost of one isolated single question,
+	// including re-establishing context each time.
+	SinglePerQuestion float64
+	// CompositeOverhead is the fixed cost of reading one CQG.
+	CompositeOverhead float64
+	// CompositePerQuestion is the marginal cost of each question inside
+	// a CQG once its context is loaded.
+	CompositePerQuestion float64
+	// Jitter is the relative noise amplitude (±Jitter) applied per
+	// interaction, modelling participant variance.
+	Jitter float64
+
+	rng *rand.Rand
+}
+
+// NewModel returns the calibrated model with a deterministic noise
+// stream.
+func NewModel(seed int64) *Model {
+	return &Model{
+		SinglePerQuestion:    6.4,
+		CompositeOverhead:    8.0,
+		CompositePerQuestion: 3.0,
+		Jitter:               0.1,
+		rng:                  rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (m *Model) noise() float64 {
+	if m.Jitter <= 0 || m.rng == nil {
+		return 1
+	}
+	return 1 + m.Jitter*(2*m.rng.Float64()-1)
+}
+
+// SingleGroupCost prices answering n single questions in isolation (the
+// Single baseline asks m of them per iteration at 1/m unit cost each).
+func (m *Model) SingleGroupCost(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.SinglePerQuestion * float64(n) * m.noise()
+}
+
+// CompositeCost prices answering one CQG containing nEdges edge
+// questions and nVertex vertex (M/O) questions.
+func (m *Model) CompositeCost(nEdges, nVertex int) float64 {
+	n := nEdges + nVertex
+	if n <= 0 {
+		return 0
+	}
+	return (m.CompositeOverhead + m.CompositePerQuestion*float64(n)) * m.noise()
+}

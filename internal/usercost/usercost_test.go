@@ -1,0 +1,66 @@
+package usercost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationMatchesPaper(t *testing.T) {
+	// Fig 15(a): 15 iterations of k=10 CQGs (≈9 edge + ≈1 vertex
+	// questions) ≈ 520 s; 15 iterations of 10 single questions ≈ 860 s.
+	m := NewModel(1)
+	m.Jitter = 0 // exact calibration check
+	var composite, single float64
+	for i := 0; i < 15; i++ {
+		composite += m.CompositeCost(9, 1)
+		single += m.SingleGroupCost(10)
+	}
+	if math.Abs(composite-570) > 60 {
+		t.Fatalf("15 composite iterations = %v s, want ≈ 520-570", composite)
+	}
+	if math.Abs(single-960) > 110 {
+		t.Fatalf("15 single iterations = %v s, want ≈ 860-960", single)
+	}
+	saving := 1 - composite/single
+	if saving < 0.3 || saving > 0.5 {
+		t.Fatalf("composite saving = %v, want ≈ 40%%", saving)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	m := NewModel(2)
+	base := m.SinglePerQuestion * 10
+	for i := 0; i < 200; i++ {
+		c := m.SingleGroupCost(10)
+		if c < base*0.89 || c > base*1.11 {
+			t.Fatalf("jittered cost %v outside ±10%% of %v", c, base)
+		}
+	}
+}
+
+func TestZeroQuestionsFree(t *testing.T) {
+	m := NewModel(3)
+	if m.SingleGroupCost(0) != 0 || m.CompositeCost(0, 0) != 0 {
+		t.Fatal("zero questions should cost nothing")
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	a, b := NewModel(7), NewModel(7)
+	for i := 0; i < 20; i++ {
+		if a.CompositeCost(5, 2) != b.CompositeCost(5, 2) {
+			t.Fatal("same seed, different costs")
+		}
+	}
+}
+
+func TestCompositeCheaperPerQuestion(t *testing.T) {
+	m := NewModel(4)
+	m.Jitter = 0
+	// For any sizeable group, composite must beat singles.
+	for n := 5; n <= 20; n++ {
+		if m.CompositeCost(n, 0) >= m.SingleGroupCost(n) {
+			t.Fatalf("composite not cheaper at n=%d", n)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package vis defines the visualization data model shared by the query
+// executor (which produces it) and the distance functions (which consume
+// it): a chart is a typed series of (x, y) points, exactly the d =
+// (d_1..d_m), d_i = (d_i(x), d_i(y)) notation of §II-B.
+package vis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChartType enumerates the chart types of the paper's VQL (Fig 2).
+type ChartType int
+
+const (
+	Bar ChartType = iota
+	Pie
+)
+
+func (c ChartType) String() string {
+	switch c {
+	case Bar:
+		return "bar"
+	case Pie:
+		return "pie"
+	default:
+		return fmt.Sprintf("ChartType(%d)", int(c))
+	}
+}
+
+// Point is one mark of a chart: a categorical label (group name or bin
+// label) and optionally a numeric x position (bin lower bound), plus the
+// y value.
+type Point struct {
+	Label string
+	X     float64
+	HasX  bool
+	Y     float64
+}
+
+// Data is the materialized visualization: what Q(D) evaluates to.
+type Data struct {
+	Type   ChartType
+	XField string // source column for the x axis
+	YField string // source column for the y axis ("" for COUNT(*) style)
+	Points []Point
+}
+
+// YVector returns the raw y values in point order.
+func (d *Data) YVector() []float64 {
+	out := make([]float64, len(d.Points))
+	for i, p := range d.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+// NormalizedY returns the y values scaled to sum to 1, as required by the
+// EMD formulation of §II-B. Negative y values are shifted so the minimum
+// maps to zero before normalization (EMD needs non-negative mass). A
+// series that sums to zero normalizes to the uniform distribution.
+func (d *Data) NormalizedY() []float64 {
+	out := make([]float64, len(d.Points))
+	if len(out) == 0 {
+		return out
+	}
+	min := d.Points[0].Y
+	for _, p := range d.Points {
+		if p.Y < min {
+			min = p.Y
+		}
+	}
+	shift := 0.0
+	if min < 0 {
+		shift = -min
+	}
+	sum := 0.0
+	for i, p := range d.Points {
+		out[i] = p.Y + shift
+		sum += out[i]
+	}
+	if sum <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LabelMap returns y values keyed by label, for label-aligned distances.
+// Duplicate labels accumulate.
+func (d *Data) LabelMap() map[string]float64 {
+	m := make(map[string]float64, len(d.Points))
+	for _, p := range d.Points {
+		m[p.Label] += p.Y
+	}
+	return m
+}
+
+// Clone deep-copies the data.
+func (d *Data) Clone() *Data {
+	cp := *d
+	cp.Points = make([]Point, len(d.Points))
+	copy(cp.Points, d.Points)
+	return &cp
+}
+
+// String renders the series compactly for logs and tests.
+func (d *Data) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s,%s)[", d.Type, d.XField, d.YField)
+	for i, p := range d.Points {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%g", p.Label, p.Y)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package vis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Data {
+	return &Data{
+		Type:   Bar,
+		XField: "Venue",
+		YField: "Citations",
+		Points: []Point{
+			{Label: "SIGMOD", Y: 3},
+			{Label: "VLDB", Y: 1},
+		},
+	}
+}
+
+func TestChartTypeString(t *testing.T) {
+	if Bar.String() != "bar" || Pie.String() != "pie" {
+		t.Fatal("chart type names wrong")
+	}
+	if !strings.Contains(ChartType(9).String(), "9") {
+		t.Fatal("unknown chart type should include the value")
+	}
+}
+
+func TestYVector(t *testing.T) {
+	got := sample().YVector()
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("YVector = %v", got)
+	}
+}
+
+func TestNormalizedY(t *testing.T) {
+	n := sample().NormalizedY()
+	if math.Abs(n[0]-0.75) > 1e-12 || math.Abs(n[1]-0.25) > 1e-12 {
+		t.Fatalf("normalized = %v", n)
+	}
+}
+
+func TestNormalizedYNegativeShift(t *testing.T) {
+	d := &Data{Points: []Point{{Label: "a", Y: -1}, {Label: "b", Y: 3}}}
+	n := d.NormalizedY()
+	// Shifted to (0, 4) then normalized -> (0, 1).
+	if n[0] != 0 || n[1] != 1 {
+		t.Fatalf("normalized = %v", n)
+	}
+}
+
+func TestNormalizedYZeroSum(t *testing.T) {
+	d := &Data{Points: []Point{{Y: 0}, {Y: 0}, {Y: 0}}}
+	n := d.NormalizedY()
+	for _, v := range n {
+		if math.Abs(v-1.0/3.0) > 1e-12 {
+			t.Fatalf("zero-sum should normalize uniform, got %v", n)
+		}
+	}
+	if len((&Data{}).NormalizedY()) != 0 {
+		t.Fatal("empty series should normalize empty")
+	}
+}
+
+func TestLabelMapAccumulates(t *testing.T) {
+	d := &Data{Points: []Point{{Label: "a", Y: 1}, {Label: "a", Y: 2}, {Label: "b", Y: 5}}}
+	m := d.LabelMap()
+	if m["a"] != 3 || m["b"] != 5 {
+		t.Fatalf("label map = %v", m)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	d := sample()
+	cp := d.Clone()
+	cp.Points[0].Y = 99
+	if d.Points[0].Y != 3 {
+		t.Fatal("clone aliased points")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "bar(Venue,Citations)") || !strings.Contains(s, "SIGMOD=3") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: NormalizedY always sums to ~1 for non-empty series and every
+// entry is in [0, 1].
+func TestQuickNormalizedYIsDistribution(t *testing.T) {
+	f := func(ys []float64) bool {
+		if len(ys) == 0 {
+			return true
+		}
+		d := &Data{}
+		for _, y := range ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				y = 0
+			}
+			if y > 1e12 {
+				y = 1e12
+			}
+			if y < -1e12 {
+				y = -1e12
+			}
+			d.Points = append(d.Points, Point{Y: y})
+		}
+		n := d.NormalizedY()
+		sum := 0.0
+		for _, v := range n {
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

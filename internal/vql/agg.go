@@ -1,0 +1,45 @@
+package vql
+
+import "visclean/internal/dataset"
+
+// aggState accumulates one group's aggregate. Null cells are skipped, so
+// SUM undercounts, AVG shrinks its denominator and COUNT ignores them —
+// the precise ways missing values corrupt a chart (§II-C iii).
+type aggState struct {
+	sum   float64
+	count int // non-null cells seen
+	rows  int // all rows routed to the group
+}
+
+func (a *aggState) add(v dataset.Value) {
+	a.rows++
+	if f, ok := v.Float(); ok {
+		a.sum += f
+		a.count++
+	} else if !v.IsNull() {
+		// Non-null string cell under COUNT: it still counts.
+		a.count++
+	}
+}
+
+// result produces the aggregate value; ok is false when the group has no
+// usable cells (e.g. AVG over all-null values), in which case the group
+// produces no mark.
+func (a *aggState) result(agg Agg) (float64, bool) {
+	switch agg {
+	case AggSum:
+		if a.count == 0 {
+			return 0, false
+		}
+		return a.sum, true
+	case AggAvg:
+		if a.count == 0 {
+			return 0, false
+		}
+		return a.sum / float64(a.count), true
+	case AggCount:
+		return float64(a.count), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,163 @@
+package vql
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"visclean/internal/dataset"
+)
+
+// TestExecuteMatchesNaiveReference cross-checks the executor against a
+// straightforward reference implementation on randomized tables and
+// queries: same groups, same aggregates, same filtered rows.
+func TestExecuteMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cats := []string{"SIGMOD", "VLDB", "ICDE", "KDD", "PODS"}
+
+	for trial := 0; trial < 60; trial++ {
+		// Random table.
+		tbl := dataset.NewTable(dataset.Schema{
+			{Name: "Cat", Kind: dataset.String},
+			{Name: "Year", Kind: dataset.Float},
+			{Name: "Y", Kind: dataset.Float},
+		})
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			cat := dataset.Str(cats[rng.Intn(len(cats))])
+			if rng.Float64() < 0.1 {
+				cat = dataset.Null(dataset.String)
+			}
+			y := dataset.Num(float64(rng.Intn(200)))
+			if rng.Float64() < 0.15 {
+				y = dataset.Null(dataset.Float)
+			}
+			tbl.MustAppend([]dataset.Value{
+				cat,
+				dataset.Num(float64(2000 + rng.Intn(20))),
+				y,
+			})
+		}
+
+		agg := []Agg{AggSum, AggAvg, AggCount}[rng.Intn(3)]
+		var where string
+		var filter func(year float64) bool
+		if rng.Intn(2) == 0 {
+			cut := 2000 + rng.Intn(20)
+			where = fmt.Sprintf(" WHERE Year >= %d", cut)
+			filter = func(y float64) bool { return y >= float64(cut) }
+		} else {
+			filter = func(float64) bool { return true }
+		}
+		src := fmt.Sprintf(`VISUALIZE bar SELECT Cat, %s(Y) FROM t TRANSFORM GROUP BY Cat%s SORT X BY ASC`, agg, where)
+		q := MustParse(src)
+		got, err := q.Execute(tbl)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Naive reference.
+		type accum struct {
+			sum   float64
+			count int
+		}
+		ref := map[string]*accum{}
+		for i := 0; i < tbl.NumRows(); i++ {
+			year, _ := tbl.Get(i, 1).Float()
+			if !filter(year) {
+				continue
+			}
+			cat, ok := tbl.Get(i, 0).Text()
+			if !ok {
+				continue
+			}
+			a := ref[cat]
+			if a == nil {
+				a = &accum{}
+				ref[cat] = a
+			}
+			if yv, ok := tbl.Get(i, 2).Float(); ok {
+				a.sum += yv
+				a.count++
+			}
+		}
+		want := map[string]float64{}
+		for cat, a := range ref {
+			switch agg {
+			case AggSum:
+				if a.count > 0 {
+					want[cat] = a.sum
+				}
+			case AggAvg:
+				if a.count > 0 {
+					want[cat] = a.sum / float64(a.count)
+				}
+			case AggCount:
+				want[cat] = float64(a.count)
+			}
+		}
+
+		gotMap := map[string]float64{}
+		var labels []string
+		for _, p := range got.Points {
+			gotMap[p.Label] = p.Y
+			labels = append(labels, p.Label)
+		}
+		if len(gotMap) != len(want) {
+			t.Fatalf("trial %d (%s): %d groups, want %d\ngot %v\nwant %v",
+				trial, src, len(gotMap), len(want), gotMap, want)
+		}
+		for cat, w := range want {
+			if g, ok := gotMap[cat]; !ok || math.Abs(g-w) > 1e-9 {
+				t.Fatalf("trial %d (%s): group %q = %v, want %v", trial, src, cat, g, w)
+			}
+		}
+		if !sort.StringsAreSorted(labels) {
+			t.Fatalf("trial %d: SORT X BY ASC violated: %v", trial, labels)
+		}
+	}
+}
+
+// TestBinMatchesNaiveReference cross-checks binning.
+func TestBinMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		tbl := dataset.NewTable(dataset.Schema{
+			{Name: "X", Kind: dataset.Float},
+			{Name: "Y", Kind: dataset.Float},
+		})
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			x := dataset.Num(float64(rng.Intn(100)) - 30)
+			if rng.Float64() < 0.1 {
+				x = dataset.Null(dataset.Float)
+			}
+			tbl.MustAppend([]dataset.Value{x, dataset.Num(1)})
+		}
+		interval := float64(1 + rng.Intn(20))
+		src := fmt.Sprintf(`VISUALIZE bar SELECT X, COUNT(Y) FROM t TRANSFORM BIN X BY INTERVAL %g`, interval)
+		got, err := MustParse(src).Execute(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int64]float64{}
+		for i := 0; i < tbl.NumRows(); i++ {
+			x, ok := tbl.Get(i, 0).Float()
+			if !ok {
+				continue
+			}
+			want[int64(math.Floor(x/interval))]++
+		}
+		if len(got.Points) != len(want) {
+			t.Fatalf("trial %d: %d bins, want %d", trial, len(got.Points), len(want))
+		}
+		for _, p := range got.Points {
+			b := int64(math.Floor(p.X / interval))
+			if want[b] != p.Y {
+				t.Fatalf("trial %d: bin %d = %v, want %v", trial, b, p.Y, want[b])
+			}
+		}
+	}
+}

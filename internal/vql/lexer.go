@@ -1,0 +1,106 @@
+package vql
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lex splits the query into tokens. Identifiers may contain letters,
+// digits, '_', '#', '.' and '@' so attribute names like "#Points" and
+// "Publ." lex as single tokens. String literals use single or double
+// quotes with doubling for escapes ('O”Brien').
+func lex(src string) ([]token, error) {
+	var toks []token
+	runes := []rune(src)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case r == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case r == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case r == '=', r == '<', r == '>':
+			start := i
+			op := string(r)
+			if (r == '<' || r == '>') && i+1 < len(runes) && runes[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: start})
+			i++
+		case r == '\'' || r == '"':
+			quote := r
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(runes) {
+				if runes[i] == quote {
+					if i+1 < len(runes) && runes[i+1] == quote {
+						b.WriteRune(quote)
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteRune(runes[i])
+				i++
+			}
+			if !closed {
+				return nil, errf(start, "unterminated string literal")
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), pos: start})
+		case unicode.IsDigit(r), r == '-' && i+1 < len(runes) && unicode.IsDigit(runes[i+1]),
+			r == '.' && i+1 < len(runes) && unicode.IsDigit(runes[i+1]):
+			start := i
+			var b strings.Builder
+			if r == '-' {
+				b.WriteRune(r)
+				i++
+			}
+			seenDot := false
+			for i < len(runes) {
+				c := runes[i]
+				if unicode.IsDigit(c) {
+					b.WriteRune(c)
+					i++
+					continue
+				}
+				if c == '.' && !seenDot && i+1 < len(runes) && unicode.IsDigit(runes[i+1]) {
+					seenDot = true
+					b.WriteRune(c)
+					i++
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokNumber, text: b.String(), pos: start})
+		case isIdentRune(r):
+			start := i
+			var b strings.Builder
+			for i < len(runes) && isIdentRune(runes[i]) {
+				b.WriteRune(runes[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: b.String(), pos: start})
+		default:
+			return nil, errf(i, "unexpected character %q", string(r))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(runes)})
+	return toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#' || r == '.' || r == '@'
+}

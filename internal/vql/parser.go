@@ -1,0 +1,328 @@
+package vql
+
+import (
+	"strconv"
+	"strings"
+
+	"visclean/internal/vis"
+)
+
+// Parse parses a VQL statement into a Query. It performs syntactic checks
+// only; use Query.Validate with a schema for semantic checks.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return nil, errf(tok.pos, "unexpected %s %q after end of query", tok.kind, tok.text)
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically known-good queries (tests, the
+// built-in experiment workload). It panics on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// keyword consumes an identifier token matching kw case-insensitively.
+func (p *parser) keyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return errf(t.pos, "expected %s, got %q", strings.ToUpper(kw), t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", errf(t.pos, "expected identifier, got %s", t.kind)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, errf(t.pos, "expected number, got %s %q", t.kind, t.text)
+	}
+	p.next()
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, errf(t.pos, "bad number %q: %v", t.text, err)
+	}
+	return f, nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, errf(t.pos, "expected %s, got %s %q", kind, t.kind, t.text)
+	}
+	p.next()
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+
+	if err := p.keyword("VISUALIZE"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case p.peekKeyword("bar"):
+		q.Chart = vis.Bar
+		p.next()
+	case p.peekKeyword("pie"):
+		q.Chart = vis.Pie
+		p.next()
+	default:
+		return nil, errf(t.pos, "expected chart type bar or pie, got %q", t.text)
+	}
+
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	x, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q.X = x
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	if err := p.parseYExpr(q); err != nil {
+		return nil, err
+	}
+
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+
+	if p.peekKeyword("TRANSFORM") {
+		p.next()
+		if err := p.parseTransform(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.peekKeyword("WHERE") {
+		p.next()
+		if err := p.parseWhere(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.peekKeyword("SORT") {
+		p.next()
+		if err := p.parseSort(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.peekKeyword("LIMIT") {
+		p.next()
+		n, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 || n != float64(int(n)) {
+			return nil, errf(p.toks[p.i-1].pos, "LIMIT must be a positive integer, got %v", n)
+		}
+		q.Limit = int(n)
+	}
+	return q, nil
+}
+
+func (p *parser) parseYExpr(q *Query) error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	agg := AggNone
+	switch strings.ToUpper(name) {
+	case "SUM":
+		agg = AggSum
+	case "AVG":
+		agg = AggAvg
+	case "COUNT":
+		agg = AggCount
+	}
+	if agg != AggNone && p.peek().kind == tokLParen {
+		p.next()
+		col, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+		q.Agg = agg
+		q.Y = col
+		return nil
+	}
+	q.Agg = AggNone
+	q.Y = name
+	return nil
+}
+
+func (p *parser) parseTransform(q *Query) error {
+	t := p.peek()
+	switch {
+	case p.peekKeyword("GROUP"):
+		p.next()
+		if err := p.keyword("BY"); err != nil {
+			return err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if col != q.X {
+			return errf(t.pos, "TRANSFORM GROUP BY column %q must match SELECT x column %q", col, q.X)
+		}
+		q.Transform = TransformGroup
+	case p.peekKeyword("BIN"):
+		p.next()
+		col, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if col != q.X {
+			return errf(t.pos, "TRANSFORM BIN column %q must match SELECT x column %q", col, q.X)
+		}
+		if err := p.keyword("BY"); err != nil {
+			return err
+		}
+		if err := p.keyword("INTERVAL"); err != nil {
+			return err
+		}
+		iv, err := p.number()
+		if err != nil {
+			return err
+		}
+		if iv <= 0 {
+			return errf(t.pos, "BIN interval must be positive, got %v", iv)
+		}
+		q.Transform = TransformBin
+		q.BinInterval = iv
+	default:
+		return errf(t.pos, "expected GROUP or BIN after TRANSFORM, got %q", t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseWhere(q *Query) error {
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return err
+		}
+		opTok, err := p.expect(tokOp)
+		if err != nil {
+			return err
+		}
+		var op Op
+		switch opTok.text {
+		case "=":
+			op = OpEq
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">=":
+			op = OpGe
+		case ">":
+			op = OpGt
+		}
+		pred := Predicate{Column: col, Op: op}
+		lit := p.peek()
+		switch lit.kind {
+		case tokNumber:
+			f, err := p.number()
+			if err != nil {
+				return err
+			}
+			pred.IsNum = true
+			pred.NumValue = f
+		case tokString:
+			p.next()
+			pred.StrValue = lit.text
+		case tokIdent:
+			// Bare-word string literal, as the paper writes
+			// "Venue = SIGMOD" without quotes.
+			p.next()
+			pred.StrValue = lit.text
+		default:
+			return errf(lit.pos, "expected literal after %s, got %s", opTok.text, lit.kind)
+		}
+		q.Where = append(q.Where, pred)
+		if !p.peekKeyword("AND") {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseSort(q *Query) error {
+	t := p.peek()
+	switch {
+	case p.peekKeyword("X"):
+		q.Sort = AxisX
+	case p.peekKeyword("Y"):
+		q.Sort = AxisY
+	default:
+		return errf(t.pos, "expected X or Y after SORT, got %q", t.text)
+	}
+	p.next()
+	if err := p.keyword("BY"); err != nil {
+		return err
+	}
+	d := p.peek()
+	switch {
+	case p.peekKeyword("ASC"):
+		q.SortDesc = false
+	case p.peekKeyword("DESC"):
+		q.SortDesc = true
+	default:
+		return errf(d.pos, "expected ASC or DESC, got %q", d.text)
+	}
+	p.next()
+	return nil
+}

@@ -1,0 +1,187 @@
+package vql
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"visclean/internal/vis"
+)
+
+func TestParseQ1Style(t *testing.T) {
+	q, err := Parse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1
+		TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Query{
+		Chart:     vis.Bar,
+		X:         "Venue",
+		Y:         "Citations",
+		Agg:       AggSum,
+		From:      "D1",
+		Transform: TransformGroup,
+		Sort:      AxisY,
+		SortDesc:  true,
+		Limit:     10,
+	}
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("got %+v, want %+v", q, want)
+	}
+}
+
+func TestParseQ7Style(t *testing.T) {
+	q, err := Parse(`VISUALIZE bar SELECT Year, COUNT(Year) FROM D1
+		TRANSFORM BIN Year BY INTERVAL 5
+		WHERE Year > 1999 AND Venue = 'SIGMOD' AND Citations > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Transform != TransformBin || q.BinInterval != 5 {
+		t.Fatalf("transform = %v interval %v", q.Transform, q.BinInterval)
+	}
+	if len(q.Where) != 3 {
+		t.Fatalf("where = %v", q.Where)
+	}
+	if q.Where[1].StrValue != "SIGMOD" || q.Where[1].IsNum {
+		t.Fatalf("where[1] = %+v", q.Where[1])
+	}
+	if q.Where[2].NumValue != 100 || !q.Where[2].IsNum {
+		t.Fatalf("where[2] = %+v", q.Where[2])
+	}
+}
+
+func TestParseBareWordLiteral(t *testing.T) {
+	q, err := Parse(`VISUALIZE pie SELECT Team, SUM(#Points) FROM D2
+		TRANSFORM GROUP BY Team WHERE Team = lakers SORT Y BY DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].StrValue != "lakers" {
+		t.Fatalf("bare word literal = %+v", q.Where[0])
+	}
+	if q.X != "Team" || q.Y != "#Points" {
+		t.Fatalf("axes = %q %q", q.X, q.Y)
+	}
+}
+
+func TestParseQuotedLiteralWithEscapes(t *testing.T) {
+	q, err := Parse(`VISUALIZE bar SELECT A, SUM(B) FROM D TRANSFORM GROUP BY A WHERE A = 'O''Brien'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].StrValue != "O'Brien" {
+		t.Fatalf("literal = %q", q.Where[0].StrValue)
+	}
+}
+
+func TestParseRawY(t *testing.T) {
+	q, err := Parse(`VISUALIZE bar SELECT Player, #Games FROM D2 SORT Y BY ASC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != AggNone || q.Y != "#Games" {
+		t.Fatalf("raw y parse = %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT a, b FROM d`,                   // missing VISUALIZE
+		`VISUALIZE scatter SELECT a, b FROM d`, // bad chart type
+		`VISUALIZE bar SELECT a FROM d`,        // missing comma + y
+		`VISUALIZE bar SELECT a, SUM(b FROM d`, // unclosed paren
+		`VISUALIZE bar SELECT a, b FROM d TRANSFORM GROUP BY c`,          // transform col mismatch
+		`VISUALIZE bar SELECT a, b FROM d TRANSFORM BIN a BY INTERVAL 0`, // zero interval
+		`VISUALIZE bar SELECT a, b FROM d TRANSFORM SHUFFLE a`,           // bad transform
+		`VISUALIZE bar SELECT a, b FROM d WHERE a !`,                     // bad operator char
+		`VISUALIZE bar SELECT a, b FROM d WHERE a =`,                     // missing literal
+		`VISUALIZE bar SELECT a, b FROM d SORT Z BY ASC`,                 // bad axis
+		`VISUALIZE bar SELECT a, b FROM d SORT Y BY SIDEWAYS`,            // bad direction
+		`VISUALIZE bar SELECT a, b FROM d LIMIT 0`,                       // bad limit
+		`VISUALIZE bar SELECT a, b FROM d LIMIT 2.5`,                     // fractional limit
+		`VISUALIZE bar SELECT a, b FROM d extra`,                         // trailing tokens
+		`VISUALIZE bar SELECT a, b FROM d WHERE a = 'unterminated`,       // bad string
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse(`VISUALIZE bar SELECT a, b FROM d SORT Z BY ASC`)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Pos <= 0 {
+		t.Fatalf("position = %d", pe.Pos)
+	}
+	if !strings.Contains(pe.Error(), "offset") {
+		t.Fatalf("error text %q", pe.Error())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("nonsense")
+}
+
+// Property: String() then Parse() is the identity on random valid queries.
+func TestQueryStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cols := []string{"Venue", "Citations", "Year", "Team", "#Points"}
+	for trial := 0; trial < 300; trial++ {
+		q := &Query{
+			Chart: vis.ChartType(rng.Intn(2)),
+			X:     cols[rng.Intn(len(cols))],
+			Y:     cols[rng.Intn(len(cols))],
+			Agg:   Agg(1 + rng.Intn(3)),
+			From:  "D1",
+		}
+		switch rng.Intn(3) {
+		case 0:
+			q.Transform = TransformNone
+			q.Agg = AggNone
+		case 1:
+			q.Transform = TransformGroup
+		case 2:
+			q.Transform = TransformBin
+			q.BinInterval = float64(1 + rng.Intn(100))
+		}
+		for i := rng.Intn(3); i > 0; i-- {
+			p := Predicate{Column: cols[rng.Intn(len(cols))], Op: Op(rng.Intn(5))}
+			if rng.Intn(2) == 0 {
+				p.IsNum = true
+				p.NumValue = float64(rng.Intn(2000))
+			} else {
+				p.StrValue = []string{"SIGMOD", "VLDB", "a b", "O'Brien"}[rng.Intn(4)]
+			}
+			q.Where = append(q.Where, p)
+		}
+		if rng.Intn(2) == 0 {
+			q.Sort = Axis(1 + rng.Intn(2))
+			q.SortDesc = rng.Intn(2) == 0
+		}
+		if rng.Intn(2) == 0 {
+			q.Limit = 1 + rng.Intn(20)
+		}
+
+		src := q.String()
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, src, err)
+		}
+		if !reflect.DeepEqual(back, q) {
+			t.Fatalf("trial %d: round trip mismatch\nsrc:  %s\ngot:  %+v\nwant: %+v", trial, src, back, q)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package vql implements the paper's SQL-like Visualization Query
+// Language (Fig 2): lexing, parsing into an AST, semantic validation
+// against a table schema, and execution producing vis.Data.
+//
+// Concrete syntax (keywords are case-insensitive; clauses in brackets are
+// optional):
+//
+//	VISUALIZE bar|pie
+//	SELECT <x-column>, [SUM|AVG|COUNT] ( <y-column> ) | <y-column>
+//	FROM <dataset>
+//	[TRANSFORM GROUP BY <x-column> | BIN <x-column> BY INTERVAL <number>]
+//	[WHERE <column> <op> <literal> [AND ...]]   op ∈ {=, <, <=, >=, >}
+//	[SORT X|Y BY ASC|DESC]
+//	[LIMIT <k>]
+package vql
+
+import "fmt"
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // quoted literal
+	tokComma
+	tokLParen
+	tokRParen
+	tokOp // =, <, <=, >=, >
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokOp:
+		return "operator"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// ParseError reports a syntax or semantic error with its position.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("vql: at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

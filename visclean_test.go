@@ -1,0 +1,113 @@
+package visclean
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole system through the public API only:
+// generate a dataset, parse a query, clean with the oracle, render.
+func TestFacadeEndToEnd(t *testing.T) {
+	d := GenerateD1(GenConfig{Scale: 0.004, Seed: 9})
+	q := MustParseQuery(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
+	truthVis, err := q.Execute(d.Truth.Clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(d.Dirty, q, d.KeyColumns, Config{Seed: 9, TruthVis: truthVis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := NewOracle(d.Truth, 9)
+	d0, err := s.DistToTruth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := s.Run(user, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no iterations ran")
+	}
+	dEnd, _ := s.DistToTruth()
+	if dEnd >= d0 {
+		t.Fatalf("facade run did not clean: %v -> %v", d0, dEnd)
+	}
+	v, err := s.CurrentVis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderChart(v, 30); !strings.Contains(out, "█") {
+		t.Fatalf("render produced no bars:\n%s", out)
+	}
+}
+
+func TestFacadeTableAndCSV(t *testing.T) {
+	tbl := NewTable(Schema{{Name: "A", Kind: String}, {Name: "B", Kind: Float}})
+	if _, err := tbl.Append([]Value{Str("x"), Num(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Append([]Value{Str("y"), Null(Float)}); err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader("A,B\nx,1\ny,")
+	back, err := ReadCSV(in, tbl.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 || !back.Get(1, 1).IsNull() {
+		t.Fatal("csv read through facade broken")
+	}
+}
+
+func TestFacadeDistances(t *testing.T) {
+	q := MustParseQuery(`VISUALIZE pie SELECT A, COUNT(A) FROM t TRANSFORM GROUP BY A`)
+	tbl := NewTable(Schema{{Name: "A", Kind: String}})
+	tbl.MustAppend([]Value{Str("x")})
+	tbl.MustAppend([]Value{Str("y")})
+	v1, err := q.Execute(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(a, b *VisData) float64{
+		"Dist": Dist, "EMD": EMD, "L1": L1, "L2": L2, "KL": KL, "JS": JS,
+	} {
+		if d := f(v1, v1); d > 1e-6 {
+			t.Errorf("%s(v,v) = %v", name, d)
+		}
+	}
+}
+
+// ExampleNewSession demonstrates the full public-API flow on the paper's
+// Table I excerpt, with a tiny scripted user.
+func ExampleNewSession() {
+	tbl := NewTable(Schema{
+		{Name: "Title", Kind: String},
+		{Name: "Venue", Kind: String},
+		{Name: "Citations", Kind: Float},
+	})
+	rows := [][]Value{
+		{Str("NADEEF"), Str("ACM SIGMOD"), Num(174)},
+		{Str("NADEEF"), Str("SIGMOD"), Num(174)},
+		{Str("SeeDB"), Str("VLDB"), Num(55)},
+	}
+	for _, r := range rows {
+		if _, err := tbl.Append(r); err != nil {
+			panic(err)
+		}
+	}
+	q := MustParseQuery(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM pubs TRANSFORM GROUP BY Venue SORT Y BY DESC`)
+	v, err := q.Execute(tbl)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range v.Points {
+		fmt.Printf("%s: %g\n", p.Label, p.Y)
+	}
+	// Output:
+	// ACM SIGMOD: 174
+	// SIGMOD: 174
+	// VLDB: 55
+}
