@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full verification gate: build + vet + race-enabled tests.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

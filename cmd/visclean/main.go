@@ -7,11 +7,18 @@
 // §VI GUI, text edition); otherwise a simulated user answers from the
 // generator's ground truth (only available with -dataset).
 //
+// With -state the session's answer log is snapshotted to a file after
+// every iteration, and -resume restores a previous session from that
+// file (replaying its answers) before continuing — so a long interactive
+// cleaning run survives interruptions.
+//
 // Usage:
 //
 //	visclean -dataset D1 -scale 0.02 -budget 15 -k 10
 //	visclean -dataset D1 -interactive -budget 5
 //	visclean -csv dirty.csv -query "VISUALIZE bar ..." -interactive
+//	visclean -dataset D1 -interactive -state run.json          # checkpoint as you go
+//	visclean -resume -state run.json -interactive              # pick up where you left off
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"visclean/internal/oracle"
 	"visclean/internal/pipeline"
 	"visclean/internal/render"
+	"visclean/internal/service"
 	"visclean/internal/vql"
 )
 
@@ -41,9 +49,12 @@ func main() {
 	selector := flag.String("selector", "gss", "CQG selection: gss, gss+, bb, abb, random, single")
 	seed := flag.Int64("seed", 1, "random seed")
 	interactive := flag.Bool("interactive", false, "ask questions on the terminal instead of simulating")
+	statePath := flag.String("state", "", "snapshot file: the session checkpoints here after every iteration")
+	resume := flag.Bool("resume", false, "restore the session from -state before continuing")
 	flag.Parse()
 
-	if err := run(*csvPath, *dsName, *queryStr, *scale, *budget, *k, *selector, *seed, *interactive); err != nil {
+	if err := run(*csvPath, *dsName, *queryStr, *scale, *budget, *k, *selector, *seed, *interactive,
+		*statePath, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "visclean:", err)
 		os.Exit(1)
 	}
@@ -55,27 +66,29 @@ var defaultQueries = map[string]string{
 	"D3": `VISUALIZE bar SELECT Publ, AVG(Rating) FROM D3 TRANSFORM GROUP BY Publ SORT Y BY DESC LIMIT 10`,
 }
 
-func parseSelector(s string) (pipeline.SelectorKind, error) {
-	switch strings.ToLower(s) {
-	case "gss":
-		return pipeline.SelectGSS, nil
-	case "gss+", "gssplus":
-		return pipeline.SelectGSSPlus, nil
-	case "bb", "b&b":
-		return pipeline.SelectBB, nil
-	case "abb", "alphabb":
-		return pipeline.SelectAlphaBB, nil
-	case "random":
-		return pipeline.SelectRandom, nil
-	case "single":
-		return pipeline.SelectSingle, nil
-	default:
-		return 0, fmt.Errorf("unknown selector %q", s)
+func run(csvPath, dsName, queryStr string, scale float64, budget, k int, selectorName string, seed int64, interactive bool, statePath string, resume bool) error {
+	var resumeHistory pipeline.History
+	if resume {
+		if statePath == "" {
+			return fmt.Errorf("-resume requires -state")
+		}
+		snap, err := service.ReadSnapshotFile(statePath)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		// The snapshot's spec overrides the construction flags: replay is
+		// only sound against the exact session the answers came from.
+		dsName, scale, seed = snap.Spec.Dataset, snap.Spec.Scale, snap.Spec.Seed
+		queryStr, k, selectorName = snap.Spec.Query, snap.Spec.K, snap.Spec.Selector
+		csvPath = ""
+		resumeHistory = snap.History
+		fmt.Printf("Resuming from %s: %d committed iterations, %d answers\n\n",
+			statePath, len(snap.History.Iterations), snap.History.NumAnswers())
 	}
-}
-
-func run(csvPath, dsName, queryStr string, scale float64, budget, k int, selectorName string, seed int64, interactive bool) error {
-	sel, err := parseSelector(selectorName)
+	if statePath != "" && dsName == "" {
+		return fmt.Errorf("-state/-resume require -dataset (a CSV session has no deterministic origin to replay against)")
+	}
+	sel, err := service.ParseSelector(selectorName)
 	if err != nil {
 		return err
 	}
@@ -133,6 +146,27 @@ func run(csvPath, dsName, queryStr string, scale float64, budget, k int, selecto
 	if err != nil {
 		return err
 	}
+	if resume {
+		if err := session.Replay(resumeHistory); err != nil {
+			return err
+		}
+	}
+	// checkpoint snapshots the session after every iteration so a killed
+	// run can -resume.
+	checkpoint := func() {}
+	if statePath != "" {
+		spec := service.Spec{
+			Dataset: dsName, Scale: scale, Seed: seed,
+			Query: queryStr, K: k, Selector: selectorName,
+		}.WithDefaults()
+		checkpoint = func() {
+			snap := service.Snapshot{ID: "cli", Spec: spec, History: session.History()}
+			if err := service.WriteSnapshotFile(statePath, snap); err != nil {
+				fmt.Fprintln(os.Stderr, "visclean: checkpoint:", err)
+			}
+		}
+		checkpoint()
+	}
 
 	var user pipeline.User
 	if interactive {
@@ -145,7 +179,11 @@ func run(csvPath, dsName, queryStr string, scale float64, budget, k int, selecto
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Query: %s\n\nInitial (dirty) visualization:\n%s\n", q.String(), render.Chart(initial, 50))
+	label := "Initial (dirty)"
+	if resume {
+		label = "Resumed"
+	}
+	fmt.Printf("Query: %s\n\n%s visualization:\n%s\n", q.String(), label, render.Chart(initial, 50))
 	if d0, err := session.DistToTruth(); err == nil && cfg.TruthVis != nil {
 		fmt.Printf("EMD to ground truth: %.5f\n\n", d0)
 	}
@@ -159,6 +197,7 @@ func run(csvPath, dsName, queryStr string, scale float64, budget, k int, selecto
 			fmt.Println("Nothing left to ask — the ERG is exhausted.")
 			break
 		}
+		checkpoint()
 		fmt.Printf("iteration %2d [%s]: %d questions (T=%d A=%d M=%d O=%d), moved %.5f",
 			rep.Iteration, rep.Selector, rep.Questions(),
 			rep.TQuestions, rep.AQuestions, rep.MQuestions, rep.OQuestions, rep.DistMoved)

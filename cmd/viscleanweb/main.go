@@ -1,91 +1,109 @@
 // Command viscleanweb serves VisClean's composite-question GUI (§VI) in
-// the browser: the progressive chart on top, the current composite
-// question below it, with confirm/split buttons on edges and
-// approve/reject controls on vertex repairs — the web edition of the
-// paper's Fig 9 interface.
+// the browser — the web edition of the paper's Fig 9 interface — as a
+// multi-tenant service: every browser tab gets its own cleaning session
+// behind an opaque id, managed by the internal/service registry
+// (capacity cap, idle eviction, bounded iteration workers, snapshot
+// persistence).
 //
 // Usage:
 //
 //	viscleanweb -dataset D1 -scale 0.01 -addr :8080
-//	viscleanweb -dataset D1 -scale 0.01 -auto   # oracle answers, watch it clean
+//	viscleanweb -dataset D1 -scale 0.01 -auto          # oracle answers, watch it clean
+//	viscleanweb -snapshots ./sessions                  # sessions survive restarts
 //
-// Then open http://localhost:8080.
+// Then open http://localhost:8080. The flags set the default spec for
+// new sessions; POST /api/session bodies override per session.
+//
+// API:
+//
+//	POST   /api/session              → {"id": "..."}    create (503 when at capacity)
+//	GET    /api/sessions             → [...]            list live sessions
+//	GET    /api/session/{id}/state   → state JSON       chart, question, report
+//	POST   /api/session/{id}/iterate → 202              run one iteration (503 on overload)
+//	POST   /api/session/{id}/answer  → 204              answer the pending question
+//	DELETE /api/session/{id}         → 204              close and forget
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"visclean/internal/datagen"
-	"visclean/internal/oracle"
-	"visclean/internal/pipeline"
-	"visclean/internal/vql"
+	"visclean/internal/service"
 )
 
 func main() {
-	dsName := flag.String("dataset", "D1", "synthetic dataset: D1, D2 or D3")
-	scale := flag.Float64("scale", 0.01, "dataset scale factor")
-	queryStr := flag.String("query", "", "VQL query (default: a representative query)")
-	k := flag.Int("k", 10, "CQG size")
-	seed := flag.Int64("seed", 1, "random seed")
+	dsName := flag.String("dataset", "D1", "default synthetic dataset: D1, D2 or D3")
+	scale := flag.Float64("scale", 0.01, "default dataset scale factor")
+	queryStr := flag.String("query", "", "default VQL query (default: a representative query)")
+	k := flag.Int("k", 10, "default CQG size")
+	seed := flag.Int64("seed", 1, "default random seed")
 	addr := flag.String("addr", ":8080", "listen address")
 	auto := flag.Bool("auto", false, "let the ground-truth oracle answer instead of the browser user")
+	maxSessions := flag.Int("max-sessions", 64, "max concurrent sessions (server busy beyond)")
+	workers := flag.Int("workers", 4, "max concurrently computing iterations")
+	idleTTL := flag.Duration("idle-ttl", 15*time.Minute, "idle time before a session is evicted to disk")
+	snapshots := flag.String("snapshots", "", "directory for session snapshots (empty: no persistence)")
 	flag.Parse()
 
-	if err := run(*dsName, *queryStr, *scale, *k, *seed, *addr, *auto); err != nil {
+	if err := run(*dsName, *queryStr, *scale, *k, *seed, *addr, *auto,
+		*maxSessions, *workers, *idleTTL, *snapshots); err != nil {
 		fmt.Fprintln(os.Stderr, "viscleanweb:", err)
 		os.Exit(1)
 	}
 }
 
-var defaultQueries = map[string]string{
-	"D1": `VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`,
-	"D2": `VISUALIZE bar SELECT Team, SUM(#Points) FROM D2 TRANSFORM GROUP BY Team SORT Y BY DESC LIMIT 10`,
-	"D3": `VISUALIZE bar SELECT Publ, AVG(Rating) FROM D3 TRANSFORM GROUP BY Publ SORT Y BY DESC LIMIT 10`,
-}
+func run(dsName, queryStr string, scale float64, k int, seed int64, addr string, auto bool,
+	maxSessions, workers int, idleTTL time.Duration, snapshots string) error {
+	if snapshots != "" {
+		if err := os.MkdirAll(snapshots, 0o755); err != nil {
+			return err
+		}
+	}
+	reg := service.NewRegistry(service.Config{
+		MaxSessions: maxSessions,
+		Workers:     workers,
+		IdleTTL:     idleTTL,
+		SnapshotDir: snapshots,
+	})
+	if n := reg.RestoreAll(); n > 0 {
+		log.Printf("viscleanweb: restored %d session(s) from %s", n, snapshots)
+	}
 
-func run(dsName, queryStr string, scale float64, k int, seed int64, addr string, auto bool) error {
-	cfg := datagen.Config{Scale: scale, Seed: seed}
-	var d *datagen.Dataset
-	switch dsName {
-	case "D1":
-		d = datagen.D1(cfg)
-	case "D2":
-		d = datagen.D2(cfg)
-	case "D3":
-		d = datagen.D3(cfg)
-	default:
-		return fmt.Errorf("unknown dataset %q", dsName)
+	srv := &webServer{
+		reg: reg,
+		defaults: service.Spec{
+			Dataset: dsName, Scale: scale, Seed: seed,
+			Query: queryStr, K: k, Auto: auto,
+		},
 	}
-	if queryStr == "" {
-		queryStr = defaultQueries[dsName]
-	}
-	q, err := vql.Parse(queryStr)
-	if err != nil {
+	httpSrv := &http.Server{Addr: addr, Handler: newMux(srv)}
+
+	// On SIGINT/SIGTERM, stop accepting requests and snapshot every live
+	// session so a restarted server resumes them.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("viscleanweb: serving on http://localhost%s (default dataset %s, auto=%v, snapshots=%q)",
+		addr, dsName, auto, snapshots)
+
+	select {
+	case sig := <-stop:
+		log.Printf("viscleanweb: %v — draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		reg.Shutdown()
+		return nil
+	case err := <-errCh:
+		reg.Shutdown()
 		return err
 	}
-	pcfg := pipeline.Config{K: k, Seed: seed}
-	if tv, err := q.Execute(d.Truth.Clean); err == nil {
-		pcfg.TruthVis = tv
-	}
-	session, err := pipeline.NewSession(d.Dirty, q, d.KeyColumns, pcfg)
-	if err != nil {
-		return err
-	}
-
-	srv := newServer(session, q.String())
-	if auto {
-		srv.autoUser = oracle.New(d.Truth, seed)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", srv.handleIndex)
-	mux.HandleFunc("/api/state", srv.handleState)
-	mux.HandleFunc("/api/iterate", srv.handleIterate)
-	mux.HandleFunc("/api/answer", srv.handleAnswer)
-
-	log.Printf("viscleanweb: %s on http://localhost%s (auto=%v)", dsName, addr, auto)
-	return http.ListenAndServe(addr, mux)
 }

@@ -42,8 +42,26 @@ const indexHTML = `<!DOCTYPE html>
 </div>
 <div class="cqg" id="cqg"></div>
 <script>
+let sessionId = null;
+async function ensureSession() {
+  if (sessionId) return sessionId;
+  const r = await fetch('/api/session', {method: 'POST', body: '{}'});
+  if (r.status === 503) {
+    document.getElementById('meta').textContent = 'server busy — all session slots taken, retrying…';
+    return null;
+  }
+  if (!r.ok) {
+    document.getElementById('meta').textContent = 'failed to create session: ' + await r.text();
+    return null;
+  }
+  sessionId = (await r.json()).id;
+  return sessionId;
+}
 async function getState() {
-  const r = await fetch('/api/state');
+  const id = await ensureSession();
+  if (!id) return null;
+  const r = await fetch('/api/session/' + id + '/state');
+  if (r.status === 404) { sessionId = null; return null; } // evicted: recreate on next tick
   return r.json();
 }
 function renderChart(c) {
@@ -87,7 +105,8 @@ function renderQuestion(q) {
   el.innerHTML = html;
 }
 async function answer(body) {
-  await fetch('/api/answer', {method: 'POST', body: JSON.stringify(body)});
+  if (!sessionId) return;
+  await fetch('/api/session/' + sessionId + '/answer', {method: 'POST', body: JSON.stringify(body)});
   refresh();
 }
 async function answerValue(yes) {
@@ -96,13 +115,17 @@ async function answerValue(yes) {
   await answer({yes: yes, value: v});
 }
 document.getElementById('iterate').onclick = async () => {
-  await fetch('/api/iterate', {method: 'POST'});
+  const id = await ensureSession();
+  if (!id) return;
+  const r = await fetch('/api/session/' + id + '/iterate', {method: 'POST'});
+  if (r.status === 503) document.getElementById('status').textContent = 'server overloaded — try again shortly';
   refresh();
 };
 async function refresh() {
   const s = await getState();
+  if (!s) return;
   document.getElementById('query').textContent = s.query;
-  let meta = 'iteration ' + s.iteration;
+  let meta = 'session ' + s.id + ' · iteration ' + s.iteration;
   if (s.distToTruth > 0) meta += ' · distance to ground truth ' + s.distToTruth.toFixed(5);
   if (s.lastReport) meta += ' · last CQG answered ' + s.lastReport.questions + ' questions';
   if (s.error) meta += ' · error: ' + s.error;

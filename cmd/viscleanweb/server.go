@@ -2,283 +2,127 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
-	"sync"
 
-	"visclean/internal/dataset"
-	"visclean/internal/erg"
-	"visclean/internal/pipeline"
+	"visclean/internal/service"
 	"visclean/internal/vis"
 )
 
-// server owns the cleaning session and bridges the pull-based User
-// interface (the session asks questions) to the push-based HTTP world
-// (the browser answers them): RunIteration executes in a goroutine with
-// a channel-backed User; each question parks in `pending` until an
-// /api/answer arrives.
-type server struct {
-	mu       sync.Mutex
-	session  *pipeline.Session
-	query    string
-	autoUser pipeline.User // when set, answers come from the oracle
-
-	running  bool
-	pending  *question
-	answerCh chan answer
-	lastRep  *pipeline.Report
-	cqg      *cqgView
-	err      string
+// webServer is a thin HTTP shell over the service layer: every handler
+// parses the request, calls the session registry, and serializes the
+// result. All session state, locking, lifecycle and persistence live in
+// internal/service.
+type webServer struct {
+	reg *service.Registry
+	// defaults seed new sessions from the command-line flags; request
+	// bodies override field by field.
+	defaults service.Spec
 }
 
-type question struct {
-	ID      int       `json:"id"`
-	Kind    string    `json:"kind"` // "T", "A", "M", "O"
-	Prompt  string    `json:"prompt"`
-	Column  string    `json:"column,omitempty"`
-	V1      string    `json:"v1,omitempty"`
-	V2      string    `json:"v2,omitempty"`
-	Current float64   `json:"current,omitempty"`
-	Tuples  [][]cellV `json:"tuples,omitempty"`
+func newMux(s *webServer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("POST /api/session", s.handleCreate)
+	mux.HandleFunc("GET /api/sessions", s.handleList)
+	mux.HandleFunc("GET /api/session/{id}/state", s.handleState)
+	mux.HandleFunc("POST /api/session/{id}/iterate", s.handleIterate)
+	mux.HandleFunc("POST /api/session/{id}/answer", s.handleAnswer)
+	mux.HandleFunc("DELETE /api/session/{id}", s.handleClose)
+	return mux
 }
 
-type cellV struct {
-	Name  string `json:"name"`
-	Value string `json:"value"`
+// writeServiceError maps registry sentinel errors to HTTP statuses.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, service.ErrBusy), errors.Is(err, service.ErrOverloaded):
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, service.ErrIterationRunning), errors.Is(err, service.ErrNoQuestion):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, service.ErrClosed):
+		http.Error(w, err.Error(), http.StatusGone)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
 }
 
-type answer struct {
-	Yes   bool
-	Value float64
-	HasV  bool
-	Skip  bool
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
-type cqgView struct {
-	Vertices []string `json:"vertices"`
-	Edges    []string `json:"edges"`
-}
-
-func newServer(s *pipeline.Session, query string) *server {
-	return &server{session: s, query: query, answerCh: make(chan answer)}
-}
-
-// webUser implements pipeline.User by parking each question on the
-// server and blocking for the browser's answer.
-type webUser struct{ s *server }
-
-func (u webUser) BeginCQG(g *erg.Graph) {
-	view := &cqgView{}
-	for _, v := range g.Vertices() {
-		label := tupleLabel(v)
-		if r := g.Repair(v); r != nil {
-			label += " [" + r.Kind.String() + "]"
-		}
-		view.Vertices = append(view.Vertices, label)
-	}
-	for i := 0; i < g.NumEdges(); i++ {
-		e := g.Edge(i)
-		view.Edges = append(view.Edges, tupleLabel(e.A)+" — "+tupleLabel(e.B))
-	}
-	u.s.mu.Lock()
-	u.s.cqg = view
-	u.s.mu.Unlock()
-}
-
-func tupleLabel(id dataset.TupleID) string {
-	return "t" + itoa(int(id))
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	neg := n < 0
-	if neg {
-		n = -n
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
-}
-
-// ask parks a question and waits for its answer.
-func (u webUser) ask(q question) answer {
-	u.s.mu.Lock()
-	q.ID++
-	if u.s.pending != nil {
-		q.ID = u.s.pending.ID + 1
-	}
-	u.s.pending = &q
-	u.s.mu.Unlock()
-	a := <-u.s.answerCh
-	u.s.mu.Lock()
-	u.s.pending = nil
-	u.s.mu.Unlock()
-	return a
-}
-
-func (u webUser) tupleCells(id dataset.TupleID) []cellV {
-	t := u.s.session.Table()
-	row, ok := t.RowByID(id)
-	if !ok {
-		return nil
-	}
-	out := make([]cellV, 0, len(row))
-	for c, v := range row {
-		out = append(out, cellV{Name: t.Schema()[c].Name, Value: v.String()})
-	}
-	return out
-}
-
-func (u webUser) AnswerT(a, b dataset.TupleID) (bool, bool) {
-	ans := u.ask(question{
-		Kind:   "T",
-		Prompt: "Are " + tupleLabel(a) + " and " + tupleLabel(b) + " the same entity?",
-		Tuples: [][]cellV{u.tupleCells(a), u.tupleCells(b)},
-	})
-	if ans.Skip {
-		return false, false
-	}
-	return ans.Yes, true
-}
-
-func (u webUser) AnswerA(column, v1, v2 string) (bool, bool) {
-	ans := u.ask(question{
-		Kind:   "A",
-		Prompt: "Do " + column + " values “" + v1 + "” and “" + v2 + "” denote the same thing?",
-		Column: column, V1: v1, V2: v2,
-	})
-	if ans.Skip {
-		return false, false
-	}
-	return ans.Yes, true
-}
-
-func (u webUser) AnswerM(column string, id dataset.TupleID) (float64, bool) {
-	ans := u.ask(question{
-		Kind:   "M",
-		Prompt: tupleLabel(id) + " is missing its " + column + " value — what should it be?",
-		Column: column,
-		Tuples: [][]cellV{u.tupleCells(id)},
-	})
-	if ans.Skip || !ans.HasV {
-		return 0, false
-	}
-	return ans.Value, true
-}
-
-func (u webUser) AnswerO(column string, id dataset.TupleID, current float64) (bool, float64, bool) {
-	ans := u.ask(question{
-		Kind:    "O",
-		Prompt:  "Is " + column + " of " + tupleLabel(id) + " wrong (an outlier)? If yes, give the corrected value.",
-		Column:  column,
-		Current: current,
-		Tuples:  [][]cellV{u.tupleCells(id)},
-	})
-	if ans.Skip {
-		return false, 0, false
-	}
-	if !ans.Yes {
-		return false, current, true
-	}
-	if !ans.HasV {
-		return false, 0, false
-	}
-	return true, ans.Value, true
-}
-
-// handleIterate kicks off one iteration unless one is already running.
-func (s *server) handleIterate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	s.mu.Lock()
-	if s.running {
-		s.mu.Unlock()
-		http.Error(w, "iteration already running", http.StatusConflict)
-		return
-	}
-	s.running = true
-	s.cqg = nil
-	s.err = ""
-	s.mu.Unlock()
-
-	go func() {
-		var user pipeline.User = webUser{s: s}
-		if s.autoUser != nil {
-			user = s.autoUser
-		}
-		rep, err := s.session.RunIteration(user)
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.running = false
-		if err != nil {
-			s.err = err.Error()
-			return
-		}
-		s.lastRep = &rep
-	}()
-	w.WriteHeader(http.StatusAccepted)
-}
-
-// handleAnswer resolves the pending question.
-func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
+// handleCreate builds a new session. The optional JSON body overrides
+// the server's default spec field by field.
+func (s *webServer) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var body struct {
-		Yes   *bool    `json:"yes"`
-		Value *float64 `json:"value"`
-		Skip  bool     `json:"skip"`
+		Dataset  string  `json:"dataset"`
+		Scale    float64 `json:"scale"`
+		Seed     int64   `json:"seed"`
+		Query    string  `json:"query"`
+		K        int     `json:"k"`
+		Selector string  `json:"selector"`
+		Auto     *bool   `json:"auto"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+	if data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	} else if len(data) > 0 {
+		if err := json.Unmarshal(data, &body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
-	s.mu.Lock()
-	pendingExists := s.pending != nil
-	s.mu.Unlock()
-	if !pendingExists {
-		http.Error(w, "no pending question", http.StatusConflict)
+	spec := s.defaults
+	if body.Dataset != "" && body.Dataset != spec.Dataset {
+		spec.Dataset = body.Dataset
+		spec.Query = "" // the flag query targets the flag dataset
+	}
+	if body.Scale != 0 {
+		spec.Scale = body.Scale
+	}
+	if body.Seed != 0 {
+		spec.Seed = body.Seed
+	}
+	if body.Query != "" {
+		spec.Query = body.Query
+	}
+	if body.K != 0 {
+		spec.K = body.K
+	}
+	if body.Selector != "" {
+		spec.Selector = body.Selector
+	}
+	if body.Auto != nil {
+		spec.Auto = *body.Auto
+	}
+	id, err := s.reg.Create(spec)
+	if err != nil {
+		writeServiceError(w, err)
 		return
 	}
-	a := answer{Skip: body.Skip}
-	if body.Yes != nil {
-		a.Yes = *body.Yes
-	}
-	if body.Value != nil {
-		a.Value = *body.Value
-		a.HasV = true
-	}
-	select {
-	case s.answerCh <- a:
-		w.WriteHeader(http.StatusNoContent)
-	default:
-		http.Error(w, "no question waiting", http.StatusConflict)
-	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *webServer) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
 }
 
 type stateResponse struct {
-	Query     string    `json:"query"`
-	Iteration int       `json:"iteration"`
-	Running   bool      `json:"running"`
-	Chart     chartJSON `json:"chart"`
-	Truth     float64   `json:"distToTruth"`
-	Question  *question `json:"question,omitempty"`
-	CQG       *cqgView  `json:"cqg,omitempty"`
-	Report    *repJSON  `json:"lastReport,omitempty"`
-	Error     string    `json:"error,omitempty"`
+	ID        string            `json:"id"`
+	Query     string            `json:"query"`
+	Iteration int               `json:"iteration"`
+	Running   bool              `json:"running"`
+	Chart     chartJSON         `json:"chart"`
+	Truth     float64           `json:"distToTruth"`
+	Question  *service.Question `json:"question,omitempty"`
+	CQG       *service.CQGView  `json:"cqg,omitempty"`
+	Report    *repJSON          `json:"lastReport,omitempty"`
+	Error     string            `json:"error,omitempty"`
 }
 
 type chartJSON struct {
@@ -293,37 +137,74 @@ type repJSON struct {
 	Exhausted bool    `json:"exhausted"`
 }
 
-func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+func (s *webServer) handleState(w http.ResponseWriter, r *http.Request) {
+	st, err := s.reg.State(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
 	resp := stateResponse{
-		Query:     s.query,
-		Iteration: s.session.Iteration(),
-		Running:   s.running,
-		Question:  s.pending,
-		CQG:       s.cqg,
-		Error:     s.err,
+		ID:        st.ID,
+		Query:     st.Spec.Query,
+		Iteration: st.Iteration,
+		Running:   st.Running,
+		Truth:     st.DistToTruth,
+		Question:  st.Question,
+		CQG:       st.CQG,
+		Error:     st.Err,
 	}
-	if s.lastRep != nil {
+	if st.Vis != nil {
+		resp.Chart = toChartJSON(st.Vis)
+	}
+	if st.Report != nil {
 		resp.Report = &repJSON{
-			Questions: s.lastRep.Questions(),
-			Moved:     s.lastRep.DistMoved,
-			Exhausted: s.lastRep.Exhausted,
+			Questions: st.Report.Questions(),
+			Moved:     st.Report.DistMoved,
+			Exhausted: st.Report.Exhausted,
 		}
 	}
-	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
 
-	// CurrentVis touches session internals; only safe when no iteration
-	// goroutine is mutating them.
-	if !resp.Running {
-		if v, err := s.session.CurrentVis(); err == nil {
-			resp.Chart = toChartJSON(v)
-		}
-		if d, err := s.session.DistToTruth(); err == nil {
-			resp.Truth = d
-		}
+func (s *webServer) handleIterate(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Iterate(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
+		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *webServer) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Yes   *bool    `json:"yes"`
+		Value *float64 `json:"value"`
+		Skip  bool     `json:"skip"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	a := service.Answer{Skip: body.Skip}
+	if body.Yes != nil {
+		a.Yes = *body.Yes
+	}
+	if body.Value != nil {
+		a.Value = *body.Value
+		a.HasValue = true
+	}
+	if err := s.reg.Answer(r.PathValue("id"), a); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *webServer) handleClose(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Close(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func toChartJSON(v *vis.Data) chartJSON {
@@ -335,7 +216,7 @@ func toChartJSON(v *vis.Data) chartJSON {
 	return out
 }
 
-func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+func (s *webServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write([]byte(indexHTML))
 }

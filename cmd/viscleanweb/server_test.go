@@ -8,37 +8,62 @@ import (
 	"testing"
 	"time"
 
-	"visclean/internal/datagen"
-	"visclean/internal/oracle"
-	"visclean/internal/pipeline"
-	"visclean/internal/vql"
+	"visclean/internal/service"
 )
 
-func testServer(t *testing.T, auto bool) *server {
+// testShell builds a webServer over a real registry with small default
+// sessions (D1 at scale 0.004, ~55 entities).
+func testShell(t *testing.T, auto bool) (*http.ServeMux, *service.Registry) {
 	t.Helper()
-	d := datagen.D1(datagen.Config{Scale: 0.004, Seed: 3})
-	q := vql.MustParse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
-	tv, err := q.Execute(d.Truth.Clean)
-	if err != nil {
-		t.Fatal(err)
+	reg := service.NewRegistry(service.Config{
+		MaxSessions: 8,
+		Workers:     2,
+		Logf:        t.Logf,
+	})
+	t.Cleanup(reg.Shutdown)
+	srv := &webServer{
+		reg:      reg,
+		defaults: service.Spec{Dataset: "D1", Scale: 0.004, Seed: 3, Auto: auto},
 	}
-	s, err := pipeline.NewSession(d.Dirty, q, d.KeyColumns, pipeline.Config{Seed: 3, TruthVis: tv})
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := newServer(s, q.String())
-	if auto {
-		srv.autoUser = oracle.New(d.Truth, 3)
-	}
-	return srv
+	return newMux(srv), reg
 }
 
-func getState(t *testing.T, srv *server) stateResponse {
+func doReq(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
 	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
 	rec := httptest.NewRecorder()
-	srv.handleState(rec, httptest.NewRequest(http.MethodGet, "/api/state", nil))
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func createSession(t *testing.T, mux *http.ServeMux) string {
+	t.Helper()
+	rec := doReq(t, mux, http.MethodPost, "/api/session", "{}")
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("create returned empty session id")
+	}
+	return out.ID
+}
+
+func getState(t *testing.T, mux *http.ServeMux, id string) stateResponse {
+	t.Helper()
+	rec := doReq(t, mux, http.MethodGet, "/api/session/"+id+"/state", "")
 	if rec.Code != http.StatusOK {
-		t.Fatalf("state status %d", rec.Code)
+		t.Fatalf("state status %d: %s", rec.Code, rec.Body.String())
 	}
 	var out stateResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
@@ -47,10 +72,11 @@ func getState(t *testing.T, srv *server) stateResponse {
 	return out
 }
 
-func TestStateEndpoint(t *testing.T) {
-	srv := testServer(t, false)
-	s := getState(t, srv)
-	if s.Iteration != 0 || s.Running {
+func TestCreateAndState(t *testing.T) {
+	mux, _ := testShell(t, false)
+	id := createSession(t, mux)
+	s := getState(t, mux, id)
+	if s.ID != id || s.Iteration != 0 || s.Running {
 		t.Fatalf("fresh state = %+v", s)
 	}
 	if len(s.Chart.Labels) == 0 {
@@ -59,18 +85,21 @@ func TestStateEndpoint(t *testing.T) {
 	if s.Truth <= 0 {
 		t.Fatal("dist to truth missing")
 	}
+	if s.Query == "" {
+		t.Fatal("query missing from state")
+	}
 }
 
 func TestAutoIteration(t *testing.T) {
-	srv := testServer(t, true)
-	rec := httptest.NewRecorder()
-	srv.handleIterate(rec, httptest.NewRequest(http.MethodPost, "/api/iterate", nil))
+	mux, _ := testShell(t, true)
+	id := createSession(t, mux)
+	rec := doReq(t, mux, http.MethodPost, "/api/session/"+id+"/iterate", "")
 	if rec.Code != http.StatusAccepted {
 		t.Fatalf("iterate status %d", rec.Code)
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
-		if s := getState(t, srv); !s.Running {
+		if s := getState(t, mux, id); !s.Running {
 			if s.Iteration != 1 {
 				t.Fatalf("iteration = %d after auto run", s.Iteration)
 			}
@@ -85,29 +114,25 @@ func TestAutoIteration(t *testing.T) {
 }
 
 func TestIterateConflictWhileRunning(t *testing.T) {
-	srv := testServer(t, false) // web user: iteration blocks on answers
-	rec := httptest.NewRecorder()
-	srv.handleIterate(rec, httptest.NewRequest(http.MethodPost, "/api/iterate", nil))
+	mux, _ := testShell(t, false) // web user: iteration parks on questions
+	id := createSession(t, mux)
+	rec := doReq(t, mux, http.MethodPost, "/api/session/"+id+"/iterate", "")
 	if rec.Code != http.StatusAccepted {
 		t.Fatalf("iterate status %d", rec.Code)
 	}
-	rec2 := httptest.NewRecorder()
-	srv.handleIterate(rec2, httptest.NewRequest(http.MethodPost, "/api/iterate", nil))
+	rec2 := doReq(t, mux, http.MethodPost, "/api/session/"+id+"/iterate", "")
 	if rec2.Code != http.StatusConflict {
 		t.Fatalf("second iterate status %d, want conflict", rec2.Code)
 	}
-	// Answer questions (skipping everything) until the iteration ends so
-	// the goroutine does not leak.
+	// Skip every question until the iteration ends so nothing leaks.
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
-		s := getState(t, srv)
+		s := getState(t, mux, id)
 		if !s.Running {
 			return
 		}
 		if s.Question != nil {
-			rec := httptest.NewRecorder()
-			srv.handleAnswer(rec, httptest.NewRequest(http.MethodPost, "/api/answer",
-				strings.NewReader(`{"skip":true}`)))
+			rec := doReq(t, mux, http.MethodPost, "/api/session/"+id+"/answer", `{"skip":true}`)
 			if rec.Code != http.StatusNoContent && rec.Code != http.StatusConflict {
 				t.Fatalf("answer status %d", rec.Code)
 			}
@@ -118,41 +143,83 @@ func TestIterateConflictWhileRunning(t *testing.T) {
 }
 
 func TestAnswerWithoutQuestion(t *testing.T) {
-	srv := testServer(t, false)
-	rec := httptest.NewRecorder()
-	srv.handleAnswer(rec, httptest.NewRequest(http.MethodPost, "/api/answer", strings.NewReader(`{"yes":true}`)))
+	mux, _ := testShell(t, false)
+	id := createSession(t, mux)
+	rec := doReq(t, mux, http.MethodPost, "/api/session/"+id+"/answer", `{"yes":true}`)
 	if rec.Code != http.StatusConflict {
 		t.Fatalf("answer with no question: status %d", rec.Code)
 	}
 }
 
 func TestAnswerBadJSON(t *testing.T) {
-	srv := testServer(t, false)
-	rec := httptest.NewRecorder()
-	srv.handleAnswer(rec, httptest.NewRequest(http.MethodPost, "/api/answer", strings.NewReader(`{`)))
+	mux, _ := testShell(t, false)
+	id := createSession(t, mux)
+	rec := doReq(t, mux, http.MethodPost, "/api/session/"+id+"/answer", `{`)
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("bad json status %d", rec.Code)
 	}
 }
 
-func TestMethodGuards(t *testing.T) {
-	srv := testServer(t, false)
-	rec := httptest.NewRecorder()
-	srv.handleIterate(rec, httptest.NewRequest(http.MethodGet, "/api/iterate", nil))
-	if rec.Code != http.StatusMethodNotAllowed {
-		t.Fatalf("GET iterate status %d", rec.Code)
+func TestUnknownSession(t *testing.T) {
+	mux, _ := testShell(t, false)
+	rec := doReq(t, mux, http.MethodGet, "/api/session/nope/state", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown session state status %d", rec.Code)
 	}
-	rec2 := httptest.NewRecorder()
-	srv.handleAnswer(rec2, httptest.NewRequest(http.MethodGet, "/api/answer", nil))
-	if rec2.Code != http.StatusMethodNotAllowed {
-		t.Fatalf("GET answer status %d", rec2.Code)
+	rec = doReq(t, mux, http.MethodPost, "/api/session/nope/iterate", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown session iterate status %d", rec.Code)
+	}
+}
+
+func TestCloseSession(t *testing.T) {
+	mux, reg := testShell(t, false)
+	id := createSession(t, mux)
+	rec := doReq(t, mux, http.MethodDelete, "/api/session/"+id, "")
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("close status %d", rec.Code)
+	}
+	rec = doReq(t, mux, http.MethodGet, "/api/session/"+id+"/state", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("state after close status %d", rec.Code)
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("registry still holds %d sessions after close", reg.Len())
+	}
+}
+
+func TestCreateOverridesSpec(t *testing.T) {
+	mux, reg := testShell(t, false)
+	rec := doReq(t, mux, http.MethodPost, "/api/session", `{"seed": 7, "k": 5}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d: %s", rec.Code, rec.Body.String())
+	}
+	infos := reg.List()
+	if len(infos) != 1 || infos[0].Spec.Seed != 7 || infos[0].Spec.K != 5 {
+		t.Fatalf("spec overrides not applied: %+v", infos)
+	}
+}
+
+func TestSessionCapacity(t *testing.T) {
+	reg := service.NewRegistry(service.Config{MaxSessions: 1, Workers: 1, Logf: t.Logf})
+	t.Cleanup(reg.Shutdown)
+	mux := newMux(&webServer{
+		reg:      reg,
+		defaults: service.Spec{Dataset: "D1", Scale: 0.004, Seed: 3},
+	})
+	createSession(t, mux)
+	rec := doReq(t, mux, http.MethodPost, "/api/session", "{}")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("create beyond capacity: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("busy rejection missing Retry-After")
 	}
 }
 
 func TestIndexServesPage(t *testing.T) {
-	srv := testServer(t, false)
-	rec := httptest.NewRecorder()
-	srv.handleIndex(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	mux, _ := testShell(t, false)
+	rec := doReq(t, mux, http.MethodGet, "/", "")
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "VisClean") {
 		t.Fatalf("index page wrong: %d", rec.Code)
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
@@ -37,7 +38,21 @@ type aQuestion struct {
 // and returns its report. When the ERG is empty (nothing left to ask)
 // the report's Exhausted flag is set and no user interaction happens.
 func (s *Session) RunIteration(user User) (Report, error) {
+	return s.RunIterationCtx(context.Background(), user)
+}
+
+// RunIterationCtx is RunIteration with cancellation: the context is
+// checked between questions, so cancelling promptly aborts an in-flight
+// iteration (e.g. when its session is closed or evicted) instead of
+// orphaning it. On cancellation the answers already applied stay applied
+// and are kept in the history log as partial answers; the model refresh
+// and iteration commit are skipped, exactly as if the process had died
+// mid-CQG.
+func (s *Session) RunIterationCtx(ctx context.Context, user User) (Report, error) {
 	rep := Report{Iteration: s.iter + 1, Selector: s.cfg.Selector.String()}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 
 	before, err := s.CurrentVis()
 	if err != nil {
@@ -49,11 +64,11 @@ func (s *Session) RunIteration(user User) (Report, error) {
 	rep.Timings.Detect = time.Since(start)
 
 	if s.cfg.Selector == SelectSingle {
-		if err := s.runSingleIteration(user, qs, before, &rep); err != nil {
+		if err := s.runSingleIteration(ctx, user, qs, before, &rep); err != nil {
 			return rep, err
 		}
 	} else {
-		if err := s.runCompositeIteration(user, qs, before, &rep); err != nil {
+		if err := s.runCompositeIteration(ctx, user, qs, before, &rep); err != nil {
 			return rep, err
 		}
 	}
@@ -77,6 +92,7 @@ func (s *Session) RunIteration(user User) (Report, error) {
 	}
 	s.iter++
 	rep.Iteration = s.iter
+	s.commitCurrent()
 	return rep, nil
 }
 
@@ -518,7 +534,7 @@ func (s *Session) edgeShowsValues(e *erg.Edge, c int, v1, v2 string) bool {
 }
 
 // runCompositeIteration performs steps 3–5 with a CQG.
-func (s *Session) runCompositeIteration(user User, qs questionSet, before *vis.Data, rep *Report) error {
+func (s *Session) runCompositeIteration(ctx context.Context, user User, qs questionSet, before *vis.Data, rep *Report) error {
 	start := time.Now()
 	g := s.buildERG(qs)
 	rep.Timings.BuildERG = time.Since(start)
@@ -566,9 +582,9 @@ func (s *Session) runCompositeIteration(user User, qs questionSet, before *vis.D
 
 	// Step 5: user answers the CQG; answers are applied immediately.
 	start = time.Now()
-	s.askCQG(user, cqg, rep)
+	err := s.askCQG(ctx, user, cqg, rep)
 	rep.Timings.Apply = time.Since(start)
-	return nil
+	return err
 }
 
 // CQGObserver is an optional extension of User: a frontend implementing
@@ -579,12 +595,15 @@ type CQGObserver interface {
 }
 
 // askCQG walks the CQG's questions and applies the answers (framework
-// steps 5–6's data part).
-func (s *Session) askCQG(user User, cqg *erg.Graph, rep *Report) {
+// steps 5–6's data part). Cancellation is honoured between questions.
+func (s *Session) askCQG(ctx context.Context, user User, cqg *erg.Graph, rep *Report) error {
 	if obs, ok := user.(CQGObserver); ok {
 		obs.BeginCQG(cqg)
 	}
 	for _, e := range cqg.Edges() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if e.HasT {
 			rep.TQuestions++
 			match, answered := user.AnswerT(e.A, e.B)
@@ -615,6 +634,9 @@ func (s *Session) askCQG(user User, cqg *erg.Graph, rep *Report) {
 	}
 	yName := s.table.Schema()[s.yCol].Name
 	for _, r := range cqg.Repairs() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if r.Kind == erg.Missing {
 			rep.MQuestions++
 			v, answered := user.AnswerM(yName, r.ID)
@@ -633,12 +655,14 @@ func (s *Session) askCQG(user User, cqg *erg.Graph, rep *Report) {
 			s.applyO(r.ID, isOut, v)
 		}
 	}
+	return nil
 }
 
 // applyT records a T answer: matcher label + must/cannot-link. A
 // confirmation also equates the pair's values in every A-column (§VI
 // label-edge semantics), recorded as revocable approve votes.
 func (s *Session) applyT(p em.Pair, match bool) {
+	s.logAnswer(Answer{Kind: AnswerKindT, A: p.A, B: p.B, Yes: match})
 	s.matcher.AddLabel(p, match)
 	s.userLabeled = true
 	if !match {
@@ -665,6 +689,7 @@ func (s *Session) applyT(p em.Pair, match bool) {
 // applyA records an A answer as a vote; classes are rebuilt on the next
 // model refresh so a rejection can cut a conflicting earlier approval.
 func (s *Session) applyA(column, v1, v2 string, same bool) {
+	s.logAnswer(Answer{Kind: AnswerKindA, Column: column, V1: v1, V2: v2, Yes: same})
 	key := makeAKey(column, v1, v2)
 	s.answeredA[key] = struct{}{}
 	if same {
@@ -676,6 +701,7 @@ func (s *Session) applyA(column, v1, v2 string, same bool) {
 
 // applyM writes the user's imputation into the working table.
 func (s *Session) applyM(id dataset.TupleID, v float64) {
+	s.logAnswer(Answer{Kind: AnswerKindM, A: id, Value: v})
 	s.answeredM[id] = struct{}{}
 	_ = s.table.SetByID(id, s.yCol, dataset.Num(v))
 	s.markDirty(id)
@@ -683,6 +709,7 @@ func (s *Session) applyM(id dataset.TupleID, v float64) {
 
 // applyO writes the user's outlier verdict into the working table.
 func (s *Session) applyO(id dataset.TupleID, isOutlier bool, v float64) {
+	s.logAnswer(Answer{Kind: AnswerKindO, A: id, Yes: isOutlier, Value: v})
 	s.answeredO[id] = struct{}{}
 	if isOutlier {
 		_ = s.table.SetByID(id, s.yCol, dataset.Num(v))

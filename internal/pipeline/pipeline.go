@@ -211,6 +211,13 @@ type Session struct {
 
 	clusters *em.Clusters
 	iter     int
+
+	// committed is the answer log, one group per completed iteration;
+	// current accumulates the in-flight iteration's applied answers.
+	// Together they form the session's History — the recoverable core
+	// that Snapshot/Replay (see history.go) serializes.
+	committed [][]Answer
+	current   []Answer
 }
 
 type aKey struct {

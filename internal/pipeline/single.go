@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"sort"
 
 	"visclean/internal/benefit"
@@ -14,7 +15,7 @@ import (
 // beneficial first. m is the number of questions a k-vertex CQG would
 // carry (k−1 edges plus one vertex repair ≈ k), keeping the unit cost
 // comparable per the paper's fairness argument.
-func (s *Session) runSingleIteration(user User, qs questionSet, before *vis.Data, rep *Report) error {
+func (s *Session) runSingleIteration(ctx context.Context, user User, qs questionSet, before *vis.Data, rep *Report) error {
 	m := s.cfg.K
 	if m < 4 {
 		m = 4
@@ -76,6 +77,9 @@ func (s *Session) runSingleIteration(user User, qs questionSet, before *vis.Data
 
 	yName := s.table.Schema()[s.yCol].Name
 	for _, q := range taken {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		rep.EstimatedBenefit += q.benefit
 		switch q.kind {
 		case 0:

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"visclean/internal/pipeline"
+)
+
+// SnapshotVersion is bumped whenever the snapshot schema changes
+// incompatibly; readers skip snapshots from the future.
+const SnapshotVersion = 1
+
+// Snapshot is the on-disk form of a session: the spec that built it plus
+// its answer log. Replaying History against a session freshly built from
+// Spec reproduces the live state (see pipeline.Session.Replay).
+type Snapshot struct {
+	Version     int              `json:"version"`
+	ID          string           `json:"id"`
+	Spec        Spec             `json:"spec"`
+	SavedAtUnix int64            `json:"savedAt"`
+	History     pipeline.History `json:"history"`
+}
+
+// WriteSnapshotFile atomically persists a snapshot: the JSON is written
+// to a temp file in the target directory and renamed into place, so a
+// crash mid-write leaves either the old snapshot or none — never a
+// truncated one under the final name.
+func WriteSnapshotFile(path string, snap Snapshot) error {
+	snap.Version = SnapshotVersion
+	if snap.SavedAtUnix == 0 {
+		snap.SavedAtUnix = time.Now().Unix()
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("service: encode snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: write snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	for _, e := range []error{werr, serr, cerr} {
+		if e != nil {
+			_ = os.Remove(tmpName)
+			return fmt.Errorf("service: write snapshot: %w", e)
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("service: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile loads and validates one snapshot. A missing file
+// returns os.ErrNotExist (wrapped); a corrupt, truncated or
+// future-versioned file returns a descriptive error so callers can log
+// and skip it rather than fail the whole server.
+func ReadSnapshotFile(path string) (Snapshot, error) {
+	var snap Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("service: corrupt snapshot %s: %w", path, err)
+	}
+	if snap.Version <= 0 || snap.Version > SnapshotVersion {
+		return snap, fmt.Errorf("service: snapshot %s has unsupported version %d (supported ≤ %d)",
+			path, snap.Version, SnapshotVersion)
+	}
+	if snap.ID == "" {
+		return snap, fmt.Errorf("service: snapshot %s has no session id", path)
+	}
+	return snap, nil
+}
+
+// snapshotPath maps a session id to its snapshot file.
+func (r *Registry) snapshotPath(id string) string {
+	return filepath.Join(r.cfg.SnapshotDir, id+".json")
+}
+
+// persistSession snapshots a session's current history to disk. Callers
+// must hold exclusive ownership of the pipeline (worker at iteration
+// end, or registry teardown after the iteration stopped).
+func (r *Registry) persistSession(s *Session) {
+	if r.cfg.SnapshotDir == "" {
+		return
+	}
+	snap := Snapshot{ID: s.id, Spec: s.spec, History: s.ps.History()}
+	if err := WriteSnapshotFile(r.snapshotPath(s.id), snap); err != nil {
+		r.cfg.Logf("service: persist session %s: %v", s.id, err)
+	}
+}
+
+// deleteSnapshot removes a session's snapshot file, reporting whether
+// one existed.
+func (r *Registry) deleteSnapshot(id string) bool {
+	if r.cfg.SnapshotDir == "" {
+		return false
+	}
+	return os.Remove(r.snapshotPath(id)) == nil
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"visclean/internal/pipeline"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "abc123.json")
+	snap := Snapshot{
+		ID:   "abc123",
+		Spec: testSpec(9, true).WithDefaults(),
+		History: pipeline.History{
+			Iterations: [][]pipeline.Answer{{
+				{Kind: pipeline.AnswerKindT, A: 1, B: 2, Yes: true},
+				{Kind: pipeline.AnswerKindM, A: 3, Value: 41.5},
+			}},
+			Partial: []pipeline.Answer{
+				{Kind: pipeline.AnswerKindA, Column: "Venue", V1: "ICDE", V2: "ICDE 2013", Yes: true},
+			},
+		},
+	}
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != SnapshotVersion {
+		t.Fatalf("version = %d, want %d", got.Version, SnapshotVersion)
+	}
+	if got.ID != snap.ID || got.Spec != snap.Spec {
+		t.Fatalf("round trip mangled identity: %+v", got)
+	}
+	if got.History.NumAnswers() != 3 || len(got.History.Iterations) != 1 || len(got.History.Partial) != 1 {
+		t.Fatalf("round trip mangled history: %+v", got.History)
+	}
+	if got.History.Iterations[0][1].Value != 41.5 {
+		t.Fatalf("answer payload lost: %+v", got.History.Iterations[0][1])
+	}
+
+	// Atomicity hygiene: no temp files left behind, only the snapshot.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestWriteSnapshotReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := WriteSnapshotFile(path, Snapshot{ID: "s", Spec: testSpec(1, false)}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a new snapshot; the old one must be replaced whole.
+	snap2 := Snapshot{ID: "s", Spec: testSpec(2, false), SavedAtUnix: 42}
+	if err := WriteSnapshotFile(path, snap2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Seed != 2 || got.SavedAtUnix != 42 {
+		t.Fatalf("overwrite not applied: %+v", got)
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file: os.ErrNotExist passes through so callers can tell
+	// "never existed" from "corrupt".
+	if _, err := ReadSnapshotFile(filepath.Join(dir, "missing.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want ErrNotExist", err)
+	}
+
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := []struct {
+		name, content string
+	}{
+		{"garbage.json", "not json at all"},
+		{"truncated.json", `{"version":1,"id":"x","history":{"iter`},
+		{"future.json", `{"version":99,"id":"x"}`},
+		{"noid.json", `{"version":1}`},
+		{"empty.json", ""},
+	}
+	for _, c := range cases {
+		p := write(c.name, c.content)
+		_, err := ReadSnapshotFile(p)
+		if err == nil {
+			t.Fatalf("%s: read succeeded on bad snapshot", c.name)
+		}
+		if errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s: bad snapshot misreported as missing", c.name)
+		}
+	}
+}
+
+// TestRestoreAllSkipsCorrupt seeds a snapshot directory with one good
+// snapshot, one corrupt file and one future-versioned file: the registry
+// must restore exactly the good one and keep serving.
+func TestRestoreAllSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+
+	reg1 := NewRegistry(Config{
+		MaxSessions: 4, Workers: 2, SweepInterval: time.Hour,
+		SnapshotDir: dir, Logf: t.Logf,
+	})
+	id, err := reg1.Create(testSpec(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1.Shutdown()
+
+	bad := filepath.Join(dir, "deadbeef.json")
+	if err := os.WriteFile(bad, []byte("{{{ truncated garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := filepath.Join(dir, "cafe0000.json")
+	if err := os.WriteFile(future, []byte(`{"version":99,"id":"cafe0000"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := newTestRegistry(t, func(c *Config) { c.SnapshotDir = dir })
+	if n := reg2.RestoreAll(); n != 1 {
+		t.Fatalf("RestoreAll restored %d, want 1 (good snapshot only)", n)
+	}
+	if _, err := reg2.State(id); err != nil {
+		t.Fatalf("good session not restored: %v", err)
+	}
+	if _, err := reg2.State("deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt snapshot: err = %v, want ErrNotFound", err)
+	}
+	if _, err := reg2.State("cafe0000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("future snapshot: err = %v, want ErrNotFound", err)
+	}
+	// The corrupt files must still be on disk (skip, don't destroy).
+	if _, err := os.Stat(bad); err != nil {
+		t.Fatalf("corrupt snapshot was deleted: %v", err)
+	}
+}
+
+// TestSnapshotIDMismatch: a snapshot renamed to another id must not
+// restore under that id.
+func TestSnapshotIDMismatch(t *testing.T) {
+	dir := t.TempDir()
+	reg1 := NewRegistry(Config{
+		MaxSessions: 4, Workers: 2, SweepInterval: time.Hour,
+		SnapshotDir: dir, Logf: t.Logf,
+	})
+	id, err := reg1.Create(testSpec(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1.Shutdown()
+
+	if err := os.Rename(filepath.Join(dir, id+".json"), filepath.Join(dir, "impostor.json")); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := newTestRegistry(t, func(c *Config) { c.SnapshotDir = dir })
+	if _, err := reg2.State("impostor"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("mismatched snapshot restored: err = %v", err)
+	}
+}
+
+func TestValidSessionID(t *testing.T) {
+	good := []string{"abc123", "ABC_def-0", "cli"}
+	bad := []string{"", "../../etc/passwd", "a/b", "a.b", strings.Repeat("x", 65)}
+	for _, id := range good {
+		if !validSessionID(id) {
+			t.Errorf("validSessionID(%q) = false, want true", id)
+		}
+	}
+	for _, id := range bad {
+		if validSessionID(id) {
+			t.Errorf("validSessionID(%q) = true, want false", id)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package service
+
+import "sync"
+
+// pool is the bounded iteration worker pool: Workers goroutines drain a
+// QueueDepth-buffered job channel. Submission never blocks — a full
+// queue is the registry's backpressure signal (ErrOverloaded) — so the
+// number of goroutines touching pipeline state is fixed at startup
+// instead of growing with request fan-out.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newPool(workers, depth int) *pool {
+	p := &pool{jobs: make(chan func(), depth)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues a job unless the queue is full or the pool is shut
+// down. It reports whether the job was accepted.
+func (p *pool) trySubmit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// shutdown stops accepting jobs, then waits for queued and running jobs
+// to finish. Queued jobs whose session context is already cancelled
+// return near-instantly (RunIterationCtx checks the context up front).
+func (p *pool) shutdown() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

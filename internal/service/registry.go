@@ -1,0 +1,490 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"visclean/internal/pipeline"
+)
+
+// Registry is the multi-tenant session manager: it owns every live
+// session, enforces the capacity cap, schedules iterations on the
+// bounded worker pool, evicts idle sessions to disk and restores them
+// on demand.
+type Registry struct {
+	cfg  Config
+	pool *pool
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	// building counts sessions being constructed or restored, so the
+	// capacity check covers in-flight creates too.
+	building int
+	closed   bool
+
+	stopSweep   chan struct{}
+	sweeperDone chan struct{}
+}
+
+// NewRegistry builds a registry and starts its evictor. Call Shutdown
+// to stop it and persist every live session.
+func NewRegistry(cfg Config) *Registry {
+	r := &Registry{
+		cfg:         cfg.withDefaults(),
+		sessions:    make(map[string]*Session),
+		stopSweep:   make(chan struct{}),
+		sweeperDone: make(chan struct{}),
+	}
+	r.pool = newPool(r.cfg.Workers, r.cfg.QueueDepth)
+	go r.sweeper()
+	return r
+}
+
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; fall back to a timestamp.
+		return fmt.Sprintf("s%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validSessionID guards snapshot paths against traversal: generated ids
+// are hex, and restore must never turn a request path segment into an
+// arbitrary filesystem path.
+func validSessionID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// reserveSlot claims one unit of session capacity.
+func (r *Registry) reserveSlot() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if len(r.sessions)+r.building >= r.cfg.MaxSessions {
+		return ErrBusy
+	}
+	r.building++
+	return nil
+}
+
+func (r *Registry) releaseSlot() {
+	r.mu.Lock()
+	r.building--
+	r.mu.Unlock()
+}
+
+// wrap turns a built pipeline session into a managed one and primes its
+// cached view state.
+func (r *Registry) wrap(id string, spec Spec, ps *pipeline.Session, auto pipeline.User) *Session {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Session{
+		id:         id,
+		spec:       spec,
+		reg:        r,
+		ctx:        ctx,
+		cancel:     cancel,
+		ps:         ps,
+		autoUser:   auto,
+		lastActive: time.Now(),
+	}
+	s.refreshCache()
+	return s
+}
+
+// Create builds a new session from the spec and registers it. It fails
+// with ErrBusy at the capacity cap. The spec is normalized first; the
+// normalized form is what snapshots store.
+func (r *Registry) Create(spec Spec) (string, error) {
+	spec = spec.WithDefaults()
+	if err := r.reserveSlot(); err != nil {
+		return "", err
+	}
+	ps, auto, err := r.cfg.Factory(spec)
+	if err != nil {
+		r.releaseSlot()
+		return "", err
+	}
+	id := newSessionID()
+	s := r.wrap(id, spec, ps, auto)
+
+	r.mu.Lock()
+	r.building--
+	if r.closed {
+		r.mu.Unlock()
+		s.cancel()
+		return "", ErrClosed
+	}
+	r.sessions[id] = s
+	r.mu.Unlock()
+
+	// Persist immediately so even a never-iterated session survives a
+	// restart.
+	r.persistSession(s)
+	r.cfg.Logf("service: session %s created (%s scale=%g seed=%d auto=%v)",
+		id, spec.Dataset, spec.Scale, spec.Seed, spec.Auto)
+	return id, nil
+}
+
+// get returns a live session, lazily restoring it from its snapshot if
+// the id is known only on disk.
+func (r *Registry) get(id string) (*Session, error) {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	r.mu.Unlock()
+	if ok {
+		return s, nil
+	}
+	return r.restore(id)
+}
+
+// restore rebuilds a session from its snapshot: factory(spec) then
+// replay of the answer log. Corrupt or unreadable snapshots are
+// reported as ErrNotFound to the caller after logging — one bad file
+// must never take the server down.
+func (r *Registry) restore(id string) (*Session, error) {
+	if r.cfg.SnapshotDir == "" || !validSessionID(id) {
+		return nil, ErrNotFound
+	}
+	snap, err := ReadSnapshotFile(r.snapshotPath(id))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			r.cfg.Logf("service: skipping snapshot for %s: %v", id, err)
+		}
+		return nil, ErrNotFound
+	}
+	if snap.ID != id {
+		r.cfg.Logf("service: snapshot id mismatch: file %s claims %s", id, snap.ID)
+		return nil, ErrNotFound
+	}
+	if err := r.reserveSlot(); err != nil {
+		return nil, err
+	}
+	ps, auto, err := r.cfg.Factory(snap.Spec)
+	if err != nil {
+		r.releaseSlot()
+		r.cfg.Logf("service: rebuild session %s: %v", id, err)
+		return nil, ErrNotFound
+	}
+	if err := ps.Replay(snap.History); err != nil {
+		r.releaseSlot()
+		r.cfg.Logf("service: replay session %s: %v", id, err)
+		return nil, ErrNotFound
+	}
+	s := r.wrap(id, snap.Spec, ps, auto)
+
+	r.mu.Lock()
+	r.building--
+	if r.closed {
+		r.mu.Unlock()
+		s.cancel()
+		return nil, ErrClosed
+	}
+	if existing, ok := r.sessions[id]; ok {
+		// A concurrent restore won the race; use its session.
+		r.mu.Unlock()
+		s.cancel()
+		return existing, nil
+	}
+	r.sessions[id] = s
+	r.mu.Unlock()
+	r.cfg.Logf("service: session %s restored from snapshot (%d iterations, %d answers replayed)",
+		id, len(snap.History.Iterations), snap.History.NumAnswers())
+	return s, nil
+}
+
+// RestoreAll eagerly restores every snapshot in the snapshot directory,
+// up to the capacity cap, skipping corrupt files. It returns how many
+// sessions were restored.
+func (r *Registry) RestoreAll() int {
+	if r.cfg.SnapshotDir == "" {
+		return 0
+	}
+	entries, err := os.ReadDir(r.cfg.SnapshotDir)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			r.cfg.Logf("service: restore scan: %v", err)
+		}
+		return 0
+	}
+	restored := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if _, err := r.get(id); err == nil {
+			restored++
+		}
+	}
+	return restored
+}
+
+// State returns a session's current view state, touching its idle clock
+// (an actively polled session is a live session).
+func (r *Registry) State(id string) (State, error) {
+	s, err := r.get(id)
+	if err != nil {
+		return State{}, err
+	}
+	s.touch()
+	return s.State(), nil
+}
+
+// Iterate schedules one cleaning iteration on the worker pool. It fails
+// with ErrIterationRunning if one is already in flight for this session
+// and with ErrOverloaded when the pool queue is full (backpressure).
+func (r *Registry) Iterate(id string) error {
+	s, err := r.get(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.running {
+		s.mu.Unlock()
+		return ErrIterationRunning
+	}
+	s.running = true
+	s.errMsg = ""
+	s.cqg = nil
+	s.iterDone = make(chan struct{})
+	s.lastActive = time.Now()
+	s.mu.Unlock()
+
+	if !r.pool.trySubmit(s.runIteration) {
+		s.mu.Lock()
+		s.running = false
+		done := s.iterDone
+		s.iterDone = nil
+		s.mu.Unlock()
+		if done != nil {
+			close(done) // a teardown may already be waiting on it
+		}
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// Answer resolves the session's pending question.
+func (r *Registry) Answer(id string, a Answer) error {
+	s, err := r.get(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.pending == nil {
+		s.mu.Unlock()
+		return ErrNoQuestion
+	}
+	reply := s.pending.reply
+	s.pending = nil
+	s.lastActive = time.Now()
+	s.mu.Unlock()
+	reply <- a // buffered(1), sole sender per question: never blocks
+	return nil
+}
+
+// Close terminates a session: its in-flight iteration is cancelled, its
+// parked question unparked, and its snapshot deleted — close is the
+// "user is done" verb, unlike eviction which preserves the snapshot for
+// later resumption.
+func (r *Registry) Close(id string) error {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	r.mu.Unlock()
+	if ok {
+		r.teardown(s, false)
+		r.deleteSnapshot(id)
+		r.cfg.Logf("service: session %s closed", id)
+		return nil
+	}
+	if validSessionID(id) && r.deleteSnapshot(id) {
+		r.cfg.Logf("service: session %s closed (snapshot only)", id)
+		return nil
+	}
+	return ErrNotFound
+}
+
+// teardown cancels a session, waits for its iteration to stop,
+// optionally persists it, and removes it from the registry.
+func (r *Registry) teardown(s *Session, persist bool) {
+	r.teardownAll([]*Session{s}, persist)
+}
+
+// teardownAll tears down a batch: every victim is cancelled FIRST, then
+// each is waited on. Cancelling up front matters when victims share the
+// worker pool — a victim whose iteration is queued behind another
+// victim's parked iteration only finishes once that one is cancelled
+// too, so cancel-then-wait per session could stall the whole sweep.
+func (r *Registry) teardownAll(victims []*Session, persist bool) {
+	var started []*Session
+	for _, s := range victims {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		s.closed = true
+		s.mu.Unlock()
+		s.cancel()
+		started = append(started, s)
+	}
+	for _, s := range started {
+		s.mu.Lock()
+		done := s.iterDone
+		s.mu.Unlock()
+		keep := persist
+		if done != nil {
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				// The iteration ignored cancellation (stuck user code).
+				// The pipeline may still be mutating, so reading its
+				// history is unsafe — drop the session without a snapshot.
+				r.cfg.Logf("service: session %s iteration did not stop within 30s; dropping without snapshot", s.id)
+				keep = false
+			}
+		}
+		if keep {
+			r.persistSession(s)
+		}
+		r.mu.Lock()
+		delete(r.sessions, s.id)
+		r.mu.Unlock()
+	}
+}
+
+// SessionInfo summarizes one live session.
+type SessionInfo struct {
+	ID         string    `json:"id"`
+	Spec       Spec      `json:"spec"`
+	Iteration  int       `json:"iteration"`
+	Running    bool      `json:"running"`
+	LastActive time.Time `json:"lastActive"`
+}
+
+// List reports every live session, most recently active first.
+func (r *Registry) List() []SessionInfo {
+	r.mu.Lock()
+	sessions := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		s.mu.Lock()
+		out = append(out, SessionInfo{
+			ID:         s.id,
+			Spec:       s.spec,
+			Iteration:  s.iterCount,
+			Running:    s.running,
+			LastActive: s.lastActive,
+		})
+		s.mu.Unlock()
+	}
+	sortInfos(out)
+	return out
+}
+
+func sortInfos(infos []SessionInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].LastActive.After(infos[j-1].LastActive); j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+// Len reports the number of live sessions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// Sweep evicts every session idle past the TTL: the session is
+// cancelled (which unparks any pending question and aborts the
+// iteration at its next question boundary), snapshotted to disk and
+// dropped from memory. A later request for its id restores it. Returns
+// the number of sessions evicted.
+func (r *Registry) Sweep() int {
+	cutoff := time.Now().Add(-r.cfg.IdleTTL)
+	r.mu.Lock()
+	var victims []*Session
+	for _, s := range r.sessions {
+		s.mu.Lock()
+		idle := !s.closed && s.lastActive.Before(cutoff)
+		s.mu.Unlock()
+		if idle {
+			victims = append(victims, s)
+		}
+	}
+	r.mu.Unlock()
+	for _, s := range victims {
+		r.cfg.Logf("service: evicting idle session %s", s.id)
+		r.teardown(s, true)
+	}
+	return len(victims)
+}
+
+func (r *Registry) sweeper() {
+	defer close(r.sweeperDone)
+	ticker := time.NewTicker(r.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			r.Sweep()
+		case <-r.stopSweep:
+			return
+		}
+	}
+}
+
+// Shutdown stops the evictor, persists and tears down every live
+// session, and drains the worker pool. The registry is unusable
+// afterwards; a new one pointed at the same SnapshotDir resumes every
+// session.
+func (r *Registry) Shutdown() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	sessions := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+
+	close(r.stopSweep)
+	<-r.sweeperDone
+	for _, s := range sessions {
+		r.teardown(s, true)
+	}
+	r.pool.shutdown()
+}

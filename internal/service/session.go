@@ -1,0 +1,328 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"visclean/internal/dataset"
+	"visclean/internal/erg"
+	"visclean/internal/pipeline"
+	"visclean/internal/vis"
+)
+
+// Session is one managed cleaning session: a pipeline.Session plus the
+// lifecycle state the registry needs — its own lock, parked question,
+// cancellation context and idle clock.
+//
+// Concurrency contract: the embedded pipeline session is NOT
+// thread-safe. It is touched only by (a) the single pool worker running
+// an iteration while `running` is true, and (b) the registry during
+// create/restore/teardown when `running` is false and `closed` blocks
+// new iterations. Everything frontends read per poll (chart, distance,
+// iteration count, report) is cached on this struct under mu by the
+// worker at iteration boundaries, so State() never races the pipeline.
+type Session struct {
+	id   string
+	spec Spec
+	reg  *Registry
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	ps       *pipeline.Session
+	autoUser pipeline.User
+
+	running    bool
+	closed     bool
+	pending    *Question
+	nextQID    int
+	iterCount  int
+	vis        *vis.Data
+	dist       float64
+	lastRep    *pipeline.Report
+	cqg        *CQGView
+	errMsg     string
+	lastActive time.Time
+	// iterDone is closed by the worker when the in-flight iteration
+	// finishes; teardown waits on it after cancelling.
+	iterDone chan struct{}
+}
+
+// Question is a parked cleaning question awaiting a client answer.
+type Question struct {
+	ID      int      `json:"id"`
+	Kind    string   `json:"kind"` // "T", "A", "M", "O"
+	Prompt  string   `json:"prompt"`
+	Column  string   `json:"column,omitempty"`
+	V1      string   `json:"v1,omitempty"`
+	V2      string   `json:"v2,omitempty"`
+	Current float64  `json:"current,omitempty"`
+	Tuples  [][]Cell `json:"tuples,omitempty"`
+
+	reply chan Answer
+}
+
+// Cell is one named cell of a tuple shown as question context.
+type Cell struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Answer is a client's reply to a parked question.
+type Answer struct {
+	Yes      bool
+	Value    float64
+	HasValue bool
+	Skip     bool
+}
+
+// CQGView is a renderable summary of the current composite question
+// graph.
+type CQGView struct {
+	Vertices []string `json:"vertices"`
+	Edges    []string `json:"edges"`
+}
+
+// State is a point-in-time view of a session for frontends.
+type State struct {
+	ID          string
+	Spec        Spec
+	Iteration   int
+	Running     bool
+	Question    *Question
+	CQG         *CQGView
+	Report      *pipeline.Report
+	Err         string
+	Vis         *vis.Data
+	DistToTruth float64
+	LastActive  time.Time
+}
+
+func (s *Session) touch() {
+	s.mu.Lock()
+	s.lastActive = time.Now()
+	s.mu.Unlock()
+}
+
+// State snapshots the session's cached view state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := State{
+		ID:          s.id,
+		Spec:        s.spec,
+		Iteration:   s.iterCount,
+		Running:     s.running,
+		CQG:         s.cqg,
+		Err:         s.errMsg,
+		Vis:         s.vis,
+		DistToTruth: s.dist,
+		LastActive:  s.lastActive,
+	}
+	if s.pending != nil {
+		q := *s.pending
+		st.Question = &q
+	}
+	if s.lastRep != nil {
+		rep := *s.lastRep
+		st.Report = &rep
+	}
+	return st
+}
+
+// refreshCache recomputes the cached chart/distance/iteration view from
+// the pipeline. Callers must hold exclusive ownership of the pipeline
+// (worker at iteration end, registry at create/restore).
+func (s *Session) refreshCache() {
+	v, err := s.ps.CurrentVis()
+	d, derr := s.ps.DistToTruth()
+	iter := s.ps.Iteration()
+	s.mu.Lock()
+	if err == nil {
+		s.vis = v
+	}
+	if derr == nil {
+		s.dist = d
+	}
+	s.iterCount = iter
+	s.mu.Unlock()
+}
+
+// runIteration executes one iteration on a pool worker.
+func (s *Session) runIteration() {
+	var user pipeline.User = &sessionUser{s: s}
+	if s.autoUser != nil {
+		user = s.autoUser
+	}
+	rep, err := s.ps.RunIterationCtx(s.ctx, user)
+
+	// Still the sole owner of the pipeline here: refresh the cached view
+	// and persist before declaring the iteration done.
+	s.refreshCache()
+	s.reg.persistSession(s)
+
+	s.mu.Lock()
+	s.running = false
+	s.lastActive = time.Now()
+	switch {
+	case err == nil:
+		repCopy := rep
+		s.lastRep = &repCopy
+	case errors.Is(err, context.Canceled):
+		// Closed or evicted mid-iteration: partial answers stay applied
+		// and logged; not an error worth surfacing.
+	default:
+		s.errMsg = err.Error()
+	}
+	done := s.iterDone
+	s.iterDone = nil
+	s.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
+}
+
+// sessionUser implements pipeline.User by parking each question on the
+// session and blocking until a client answers, the park times out, or
+// the session is cancelled — so an abandoned client can never leave the
+// iteration goroutine (and its pool worker) blocked forever.
+type sessionUser struct{ s *Session }
+
+func (u *sessionUser) BeginCQG(g *erg.Graph) {
+	view := &CQGView{}
+	for _, v := range g.Vertices() {
+		label := tupleLabel(v)
+		if r := g.Repair(v); r != nil {
+			label += " [" + r.Kind.String() + "]"
+		}
+		view.Vertices = append(view.Vertices, label)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		view.Edges = append(view.Edges, tupleLabel(e.A)+" — "+tupleLabel(e.B))
+	}
+	u.s.mu.Lock()
+	u.s.cqg = view
+	u.s.mu.Unlock()
+}
+
+func tupleLabel(id dataset.TupleID) string {
+	return "t" + strconv.Itoa(int(id))
+}
+
+// ask parks a question and waits for its answer, with timeout and
+// cancellation unpark paths.
+func (u *sessionUser) ask(q Question) Answer {
+	s := u.s
+	reply := make(chan Answer, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Answer{Skip: true}
+	}
+	s.nextQID++
+	q.ID = s.nextQID
+	q.reply = reply
+	s.pending = &q
+	s.mu.Unlock()
+
+	timer := time.NewTimer(s.reg.cfg.AnswerTimeout)
+	defer timer.Stop()
+	select {
+	case a := <-reply:
+		s.touch()
+		return a
+	case <-s.ctx.Done():
+	case <-timer.C:
+	}
+
+	// Unpark: retract the question so a late answer gets ErrNoQuestion
+	// instead of resolving a question nobody is waiting on.
+	s.mu.Lock()
+	if s.pending != nil && s.pending.reply == reply {
+		s.pending = nil
+	}
+	s.mu.Unlock()
+	// An answer may have been dispatched between the select and the
+	// retraction; the reply buffer holds it.
+	select {
+	case a := <-reply:
+		return a
+	default:
+	}
+	return Answer{Skip: true}
+}
+
+func (u *sessionUser) tupleCells(id dataset.TupleID) []Cell {
+	t := u.s.ps.Table()
+	row, ok := t.RowByID(id)
+	if !ok {
+		return nil
+	}
+	out := make([]Cell, 0, len(row))
+	for c, v := range row {
+		out = append(out, Cell{Name: t.Schema()[c].Name, Value: v.String()})
+	}
+	return out
+}
+
+func (u *sessionUser) AnswerT(a, b dataset.TupleID) (bool, bool) {
+	ans := u.ask(Question{
+		Kind:   "T",
+		Prompt: "Are " + tupleLabel(a) + " and " + tupleLabel(b) + " the same entity?",
+		Tuples: [][]Cell{u.tupleCells(a), u.tupleCells(b)},
+	})
+	if ans.Skip {
+		return false, false
+	}
+	return ans.Yes, true
+}
+
+func (u *sessionUser) AnswerA(column, v1, v2 string) (bool, bool) {
+	ans := u.ask(Question{
+		Kind:   "A",
+		Prompt: "Do " + column + " values “" + v1 + "” and “" + v2 + "” denote the same thing?",
+		Column: column, V1: v1, V2: v2,
+	})
+	if ans.Skip {
+		return false, false
+	}
+	return ans.Yes, true
+}
+
+func (u *sessionUser) AnswerM(column string, id dataset.TupleID) (float64, bool) {
+	ans := u.ask(Question{
+		Kind:   "M",
+		Prompt: tupleLabel(id) + " is missing its " + column + " value — what should it be?",
+		Column: column,
+		Tuples: [][]Cell{u.tupleCells(id)},
+	})
+	if ans.Skip || !ans.HasValue {
+		return 0, false
+	}
+	return ans.Value, true
+}
+
+func (u *sessionUser) AnswerO(column string, id dataset.TupleID, current float64) (bool, float64, bool) {
+	ans := u.ask(Question{
+		Kind:    "O",
+		Prompt:  "Is " + column + " of " + tupleLabel(id) + " wrong (an outlier)? If yes, give the corrected value.",
+		Column:  column,
+		Current: current,
+		Tuples:  [][]Cell{u.tupleCells(id)},
+	})
+	if ans.Skip {
+		return false, 0, false
+	}
+	if !ans.Yes {
+		return false, current, true
+	}
+	if !ans.HasValue {
+		return false, 0, false
+	}
+	return true, ans.Value, true
+}

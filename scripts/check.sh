@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's verification gate: build, vet, then the full
+# test suite with the race detector on. CI and pre-commit both run this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== OK"
