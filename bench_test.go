@@ -11,8 +11,10 @@ package visclean
 import (
 	"testing"
 
+	"visclean/internal/datagen"
 	"visclean/internal/experiments"
 	"visclean/internal/pipeline"
+	"visclean/internal/vql"
 )
 
 // benchScale keeps a full -bench=. run tractable.
@@ -159,6 +161,66 @@ func BenchmarkFig18_ComponentTime(b *testing.B) {
 			b.ReportMetric(float64(tm.Train.Microseconds()), "train_µs")
 			b.ReportMetric(float64(tm.Benefit.Microseconds()), "benefit_µs")
 		}
+	}
+}
+
+// annotateSession builds one D1 session at the given scale for the
+// benefit-annotation benchmark.
+func annotateSession(b *testing.B, scale float64, workers int) *pipeline.Session {
+	b.Helper()
+	d := datagen.D1(datagen.Config{Scale: scale, Seed: 1})
+	q := vql.MustParse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
+	s, err := pipeline.NewSession(d.Dirty, q, d.KeyColumns, pipeline.Config{Seed: 1, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkAnnotate isolates the benefit-model hot path — pricing every
+// edge and vertex repair of the first iteration's ERG — at worker counts
+// 1 and 8. The parallel engine guarantees bit-identical annotation at
+// any worker count (the sub-benchmarks cross-check it), so the only
+// difference is wall-clock. evals/op reports unique hypothetical
+// visualizations priced (memo cache misses); on a single-core runner the
+// memoization, not the fan-out, is what cuts time versus a pre-memo
+// build.
+func BenchmarkAnnotate(b *testing.B) {
+	const scale = 0.05
+	var baseline []float64 // Workers=1 edge benefits, for cross-check
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(map[int]string{1: "Workers1", 8: "Workers8"}[workers], func(b *testing.B) {
+			s := annotateSession(b, scale, workers)
+			var evals int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, n, err := s.BuildAnnotatedERG(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals = n
+				benefits := make([]float64, g.NumEdges())
+				for e := 0; e < g.NumEdges(); e++ {
+					benefits[e] = g.Edge(e).Benefit
+				}
+				b.StopTimer()
+				if workers == 1 {
+					baseline = benefits
+				} else if baseline != nil {
+					if len(benefits) != len(baseline) {
+						b.Fatalf("edge count differs across worker counts: %d vs %d", len(benefits), len(baseline))
+					}
+					for e := range benefits {
+						if benefits[e] != baseline[e] {
+							b.Fatalf("edge %d benefit differs across worker counts: %v vs %v", e, benefits[e], baseline[e])
+						}
+					}
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(evals), "evals/op")
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.05] [-seed 1] <what>
+//	experiments [-scale 0.05] [-seed 1] [-workers N] <what>
 //
 // where <what> is one of:
 //
@@ -34,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	repeats := flag.Int("repeats", 3, "repeats for Table VI averages")
 	edges17a := flag.Int("fig17-edges", 20000, "ERG edges for Fig 17(a)")
+	workers := flag.Int("workers", 0, "benefit/training fan-out per session (0 = GOMAXPROCS, 1 = sequential; results identical at any value)")
 	flag.Parse()
 
 	what := flag.Arg(0)
@@ -42,6 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 	env := experiments.NewEnv(*scale, *seed)
+	env.Workers = *workers
 	if err := dispatch(env, what, *repeats, *edges17a); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

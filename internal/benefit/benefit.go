@@ -14,10 +14,14 @@
 package benefit
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"visclean/internal/dataset"
 	"visclean/internal/distance"
 	"visclean/internal/em"
 	"visclean/internal/erg"
+	"visclean/internal/par"
 	"visclean/internal/vis"
 )
 
@@ -69,21 +73,89 @@ type Hypothesis struct {
 // Estimator prices questions. Base is the current visualization;
 // Hypothetical derives the visualization under a hypothetical answer
 // (returning nil means the answer is inapplicable and prices as zero).
+//
+// Workers bounds the fan-out of Annotate: < 1 selects GOMAXPROCS, 1 is
+// strictly sequential. When Workers > 1 the Hypothetical callback must
+// be safe for concurrent calls (the pipeline freezes its standardizers
+// and prices M/O repairs through cell overrides to guarantee this).
+//
+// Priced hypotheses are memoized for the estimator's lifetime, keyed by
+// canonical Hypothesis: within one iteration a hypothesis is a pure
+// function of session state, so the same question appearing on several
+// edges (an A-question's value pair typically does) is priced once. An
+// estimator is therefore valid for exactly one iteration — session
+// state changes invalidate the cache, so build a fresh one per
+// iteration.
 type Estimator struct {
 	Dist         distance.Func
 	Base         *vis.Data
 	Hypothetical func(h Hypothesis) *vis.Data
+	Workers      int
+
+	mu    sync.Mutex
+	memo  map[Hypothesis]*memoEntry
+	evals atomic.Int64 // unique Hypothetical invocations (cache misses)
+}
+
+// memoEntry is one memoized price. The sync.Once guarantees a single
+// Hypothetical evaluation per canonical hypothesis even when several
+// workers request it concurrently; losers block until the value is set.
+type memoEntry struct {
+	once sync.Once
+	val  float64
+}
+
+// canonicalize normalizes the order-insensitive fields so symmetric
+// hypotheses share one memo slot: the tuple pair of a T-question and the
+// value pair of an A-question (Standardizer.Approve is a symmetric
+// union, so Approve(v1,v2) and Approve(v2,v1) price identically).
+func canonicalize(h Hypothesis) Hypothesis {
+	switch h.Kind {
+	case TConfirm, TSplit:
+		h.Pair = em.MakePair(h.Pair.A, h.Pair.B)
+	case AApprove:
+		if h.V1 > h.V2 {
+			h.V1, h.V2 = h.V2, h.V1
+		}
+	}
+	return h
 }
 
 // dist prices one hypothesis: the visualization distance the answer
 // would cause. Bigger distance = dirtier chart fixed = more benefit.
+// Prices are memoized; see Estimator.
 func (e *Estimator) dist(h Hypothesis) float64 {
+	h = canonicalize(h)
+	e.mu.Lock()
+	if e.memo == nil {
+		e.memo = make(map[Hypothesis]*memoEntry)
+	}
+	ent := e.memo[h]
+	if ent == nil {
+		ent = &memoEntry{}
+		e.memo[h] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		e.evals.Add(1)
+		ent.val = e.rawDist(h)
+	})
+	return ent.val
+}
+
+func (e *Estimator) rawDist(h Hypothesis) float64 {
 	after := e.Hypothetical(h)
 	if after == nil {
 		return 0
 	}
 	return e.Dist(e.Base, after)
 }
+
+// Evals reports the number of hypothetical visualizations actually
+// derived so far (memo cache misses). The experiment harness reports
+// this as benefit-model work; it is deterministic — the set of unique
+// hypotheses priced does not depend on the worker count.
+func (e *Estimator) Evals() int { return int(e.evals.Load()) }
 
 // TBenefit computes Eq. 6 for a T-question: pY·dist^Y + (1−pY)·dist^N,
 // where pY is the current model's matching probability.
@@ -131,24 +203,26 @@ func (e *Estimator) RepairBenefit(r *erg.VertexRepair) float64 {
 }
 
 // Annotate fills the Benefit fields of every edge and vertex repair of
-// the ERG, making it ready for CQG selection. It returns the number of
-// hypothetical visualizations evaluated (the experiment harness reports
-// this as benefit-model work).
+// the ERG, making it ready for CQG selection, fanning the per-edge and
+// per-repair pricing out across Workers goroutines. Each work item
+// writes only its own edge's (or repair's) Benefit field — the
+// index-write rule — so the annotated ERG is bit-identical to a
+// sequential run regardless of the worker count. It returns the number
+// of hypothetical visualizations evaluated (the experiment harness
+// reports this as benefit-model work); memoization makes this the count
+// of unique hypotheses, not of questions.
 func (e *Estimator) Annotate(g *erg.Graph) int {
-	evals := 0
-	for i := 0; i < g.NumEdges(); i++ {
-		edge := g.Edge(i)
-		edge.Benefit = e.EdgeBenefit(edge)
-		if edge.HasT {
-			evals += 2
+	before := e.evals.Load()
+	nEdges := g.NumEdges()
+	repairs := g.Repairs() // ordered by tuple id
+	par.ForEachIndex(e.Workers, nEdges+len(repairs), func(i int) {
+		if i < nEdges {
+			edge := g.Edge(i)
+			edge.Benefit = e.EdgeBenefit(edge)
+			return
 		}
-		if edge.HasA {
-			evals++
-		}
-	}
-	for _, r := range g.Repairs() {
+		r := repairs[i-nEdges]
 		r.Benefit = e.RepairBenefit(r)
-		evals++
-	}
-	return evals
+	})
+	return int(e.evals.Load() - before)
 }

@@ -160,3 +160,87 @@ func TestExample5Accounting(t *testing.T) {
 		t.Fatalf("CQG benefit = %v, want 0.5", got)
 	}
 }
+
+func TestMemoizationPricesUniqueHypothesesOnce(t *testing.T) {
+	base := chart(1, 2)
+	var calls int
+	e := &Estimator{
+		Dist: distance.EMD,
+		Base: base,
+		Hypothetical: func(h Hypothesis) *vis.Data {
+			calls++
+			return chart(3, 2)
+		},
+	}
+	// Symmetric forms canonicalize to one memo slot: (1,2) vs (2,1)
+	// pairs, ("a","b") vs ("b","a") value pairs.
+	b1 := e.TBenefit(em.Pair{A: 1, B: 2}, 0.5)
+	b2 := e.TBenefit(em.Pair{A: 2, B: 1}, 0.5)
+	if b1 != b2 {
+		t.Fatalf("symmetric T pairs priced differently: %v vs %v", b1, b2)
+	}
+	a1 := e.ABenefit("Venue", "a", "b", 1)
+	a2 := e.ABenefit("Venue", "b", "a", 1)
+	if a1 != a2 {
+		t.Fatalf("symmetric A pairs priced differently: %v vs %v", a1, a2)
+	}
+	e.MBenefit(7, 10)
+	e.MBenefit(7, 10) // repeat: memo hit
+	// Unique hypotheses: TConfirm(1,2), TSplit(1,2), AApprove(a,b),
+	// MImpute(7,10) -> 4 evaluations, regardless of the 7 calls above.
+	if calls != 4 || e.Evals() != 4 {
+		t.Fatalf("Hypothetical called %d times, Evals() = %d; want 4", calls, e.Evals())
+	}
+	// A distinct hypothesis is a miss.
+	e.MBenefit(7, 11)
+	if e.Evals() != 5 {
+		t.Fatalf("Evals() = %d after new hypothesis, want 5", e.Evals())
+	}
+}
+
+func TestAnnotateWorkerCountInvariance(t *testing.T) {
+	// Annotate at Workers=1 and Workers=8 must produce bit-identical
+	// benefits (the index-write rule); the hypothesis set priced is the
+	// same, so Evals matches too.
+	build := func(workers int) (*erg.Graph, int) {
+		base := chart(1, 1, 1, 1)
+		e := &Estimator{
+			Dist:    distance.EMD,
+			Base:    base,
+			Workers: workers,
+			Hypothetical: func(h Hypothesis) *vis.Data {
+				// A distinct, deterministic chart per hypothesis.
+				return chart(float64(h.Kind)+1, float64(h.ID), h.Value, float64(h.Pair.A)+float64(h.Pair.B))
+			},
+		}
+		g := erg.MustNew([]dataset.TupleID{1, 2, 3, 4, 5})
+		for i := dataset.TupleID(1); i < 5; i++ {
+			if err := g.AddEdge(erg.Edge{A: i, B: i + 1, HasT: true, PT: 0.5, HasA: true, PA: 0.4, AV1: "a", AV2: "b"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.SetRepair(erg.VertexRepair{ID: 2, Kind: erg.Outlier, Current: 9, Suggested: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.SetRepair(erg.VertexRepair{ID: 4, Kind: erg.Missing, Suggested: 7}); err != nil {
+			t.Fatal(err)
+		}
+		return g, e.Annotate(g)
+	}
+	g1, n1 := build(1)
+	g8, n8 := build(8)
+	if n1 != n8 {
+		t.Fatalf("eval counts differ: %d vs %d", n1, n8)
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		if g1.Edge(i).Benefit != g8.Edge(i).Benefit {
+			t.Fatalf("edge %d benefit differs: %v vs %v", i, g1.Edge(i).Benefit, g8.Edge(i).Benefit)
+		}
+	}
+	r1, r8 := g1.Repairs(), g8.Repairs()
+	for i := range r1 {
+		if r1[i].Benefit != r8[i].Benefit {
+			t.Fatalf("repair %d benefit differs: %v vs %v", i, r1[i].Benefit, r8[i].Benefit)
+		}
+	}
+}

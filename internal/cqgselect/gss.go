@@ -179,13 +179,24 @@ func gss(g *erg.Graph, k int, opts gssOptions) Result {
 	// k-vertex subgraph of worthless edges. (A deviation from the
 	// literal Algorithm 2, which only scores full k-sets; the user would
 	// rather answer a small question worth something than a big one
-	// worth nothing.)
-	seen := make(map[*vertexSet]struct{})
+	// worth nothing.) The distinct sets are collected out of the map and
+	// sorted by a deterministic key before evaluation: evaluate keeps
+	// the FIRST set at any given benefit (strict >), so ranging over the
+	// map directly would break equal-benefit ties by map iteration order
+	// — same seed, different CQG across runs.
+	seen := make(map[*vertexSet]struct{}, len(m))
+	partial := make([]*vertexSet, 0, len(m))
 	for _, set := range m {
 		if _, dup := seen[set]; dup {
 			continue
 		}
 		seen[set] = struct{}{}
+		partial = append(partial, set)
+	}
+	sort.Slice(partial, func(i, j int) bool {
+		return lessMemberKey(partial[i].members, partial[j].members)
+	})
+	for _, set := range partial {
 		evaluate(set)
 	}
 	if !haveBest {
@@ -206,6 +217,23 @@ func gss(g *erg.Graph, k int, opts gssOptions) Result {
 		return Result{}
 	}
 	return growToK(g, best, k)
+}
+
+// lessMemberKey orders vertex sets by their sorted member ids,
+// lexicographically — the deterministic tiebreak key for partial-set
+// evaluation. Member slices arrive in insertion order, so compare
+// sorted copies.
+func lessMemberKey(a, b []dataset.TupleID) bool {
+	as := append([]dataset.TupleID(nil), a...)
+	bs := append([]dataset.TupleID(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := 0; i < len(as) && i < len(bs); i++ {
+		if as[i] != bs[i] {
+			return as[i] < bs[i]
+		}
+	}
+	return len(as) < len(bs)
 }
 
 // growToK greedily extends an undersized CQG to k vertices, one best

@@ -205,32 +205,28 @@ func EMD1D(a, b *vis.Data) float64 {
 
 // L1 is the label-aligned total variation style distance: ½ Σ_labels
 // |p_a(l) − p_b(l)| over normalized series, treating absent labels as 0.
+// Summation runs in sorted label order, not map iteration order: float
+// addition is order-sensitive, and since this is the default distance
+// the benefit model maximizes over, a per-run summation order would put
+// last-ULP noise in every benefit — enough to flip strict > comparisons
+// in CQG selection between identically-seeded runs.
 func L1(a, b *vis.Data) float64 {
 	ma, mb := normalizedLabelMap(a), normalizedLabelMap(b)
 	sum := 0.0
-	for l, va := range ma {
-		sum += math.Abs(va - mb[l])
-	}
-	for l, vb := range mb {
-		if _, ok := ma[l]; !ok {
-			sum += math.Abs(vb)
-		}
+	for _, l := range unionLabels(ma, mb) {
+		sum += math.Abs(ma[l] - mb[l])
 	}
 	return sum / 2
 }
 
 // L2 is the label-aligned Euclidean distance over normalized series.
+// Sorted label order for the same reason as L1.
 func L2(a, b *vis.Data) float64 {
 	ma, mb := normalizedLabelMap(a), normalizedLabelMap(b)
 	sum := 0.0
-	for l, va := range ma {
-		d := va - mb[l]
+	for _, l := range unionLabels(ma, mb) {
+		d := ma[l] - mb[l]
 		sum += d * d
-	}
-	for l, vb := range mb {
-		if _, ok := ma[l]; !ok {
-			sum += vb * vb
-		}
 	}
 	return math.Sqrt(sum)
 }

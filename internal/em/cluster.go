@@ -147,6 +147,11 @@ func BuildClustersSorted(t *dataset.Table, sorted []ScoredPair, cfg ClusterConfi
 	return c
 }
 
+// Freeze settles the underlying union-find (full path compression) so
+// subsequent Same/Groups/ClusterOf calls perform no writes — safe for
+// concurrent readers until the next merge.
+func (c *Clusters) Freeze() { c.uf.Compress() }
+
 // Same reports whether two tuples are currently the same entity.
 func (c *Clusters) Same(a, b dataset.TupleID) bool {
 	ia, okA := c.index[a]

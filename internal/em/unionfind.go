@@ -17,13 +17,36 @@ func NewUnionFind(n int) *UnionFind {
 	return uf
 }
 
-// Find returns the set representative of x.
+// Find returns the set representative of x, halving the path as it
+// walks. The halving write is skipped when it would not move the entry:
+// after Compress has settled the forest, Find performs no writes at all,
+// which is what makes a compressed forest safe for concurrent readers.
 func (uf *UnionFind) Find(x int) int {
 	for uf.parent[x] != x {
-		uf.parent[x] = uf.parent[uf.parent[x]]
+		if g := uf.parent[uf.parent[x]]; g != uf.parent[x] {
+			uf.parent[x] = g
+		}
 		x = uf.parent[x]
 	}
 	return x
+}
+
+// Compress points every element directly at its root, so subsequent
+// Find/Same/Groups calls are write-free until the next Union. The
+// cleaning pipeline compresses its entity forest before fanning
+// hypothetical-visualization pricing out across workers.
+func (uf *UnionFind) Compress() {
+	for i := range uf.parent {
+		root := i
+		for uf.parent[root] != root {
+			root = uf.parent[root]
+		}
+		for x := i; uf.parent[x] != root; {
+			next := uf.parent[x]
+			uf.parent[x] = root
+			x = next
+		}
+	}
 }
 
 // Union merges the sets of a and b, returning the new representative.

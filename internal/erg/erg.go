@@ -223,14 +223,27 @@ func (g *Graph) EdgeSortWeight(i int) float64 {
 // repair benefit counted once. It runs in O(Σ deg(v)) over the members —
 // selection algorithms evaluate many candidate subgraphs per call, so a
 // full edge scan here would make GSS quadratic in the ERG size.
+//
+// Summation runs in a canonical order — the deduped vertex set sorted by
+// tuple id — NOT the caller's slice order or map iteration order:
+// floating-point addition is order-sensitive, and a per-run summation
+// order produces last-ULP benefit differences that flip strict >
+// comparisons in GSS and B&B — same seed, different CQG. Any two calls
+// with the same vertex *set* return the same bits.
 func (g *Graph) SubgraphBenefit(vertices []dataset.TupleID) float64 {
 	in := make(map[dataset.TupleID]struct{}, len(vertices))
+	ordered := make([]dataset.TupleID, 0, len(vertices))
 	for _, v := range vertices {
+		if _, dup := in[v]; dup {
+			continue
+		}
 		in[v] = struct{}{}
+		ordered = append(ordered, v)
 	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
 	total := 0.0
 	seen := make(map[int]struct{})
-	for v := range in {
+	for _, v := range ordered {
 		i, ok := g.index[v]
 		if !ok {
 			continue

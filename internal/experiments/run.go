@@ -81,6 +81,7 @@ func RunTask(env *Env, taskID string, opts RunOptions, snapshotAt ...int) (Curve
 		K:                opts.K,
 		Seed:             env.Seed + opts.Seed,
 		TruthVis:         truthVis,
+		Workers:          env.Workers,
 		NoGeneralization: opts.NoGeneralization,
 		NoHysteresis:     opts.NoHysteresis,
 	})

@@ -86,8 +86,12 @@ func TaskByID(id string) (Task, error) {
 type Env struct {
 	Scale float64
 	Seed  int64
-	mu    sync.Mutex
-	data  map[string]*datagen.Dataset
+	// Workers is passed through to every session's pipeline.Config: it
+	// bounds the benefit engine's and forest training's fan-out. 0 keeps
+	// the pipeline default; results are identical for every value.
+	Workers int
+	mu      sync.Mutex
+	data    map[string]*datagen.Dataset
 }
 
 // NewEnv creates an experiment environment at the given generator scale.

@@ -183,8 +183,32 @@ func (s *Standardizer) find(v string) string {
 		return v
 	}
 	root := s.find(p)
-	s.parent[v] = root
+	// Path-compress only when the entry actually moves: after Freeze has
+	// compressed every chain, find performs no map writes at all, which
+	// is what makes a frozen standardizer safe for concurrent readers.
+	if root != p {
+		s.parent[v] = root
+	}
 	return root
+}
+
+// Freeze precomputes every lazily derived structure — full path
+// compression of the union-find and the canonical value of every known
+// member — so that subsequent SameClass and Canonical calls perform no
+// writes whatsoever. A frozen standardizer is safe for concurrent
+// readers until the next Approve (which re-dirties the caches); the
+// benefit model freezes the session's standardizers before fanning
+// hypothetical-visualization pricing out across workers.
+func (s *Standardizer) Freeze() {
+	for v := range s.parent {
+		s.find(v)
+	}
+	for v := range s.freq {
+		s.Canonical(v)
+	}
+	for v := range s.parent {
+		s.Canonical(v)
+	}
 }
 
 // Approve records that v1 and v2 are the same attribute entity.

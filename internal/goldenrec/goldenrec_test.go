@@ -2,6 +2,7 @@ package goldenrec
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"visclean/internal/dataset"
@@ -215,5 +216,45 @@ func TestCanonicalCacheInvalidatedByApprove(t *testing.T) {
 	s.Approve("A", "A B")
 	if got := s.Canonical("A B"); got != "A" {
 		t.Fatalf("post-approve canonical = %q (cache stale?)", got)
+	}
+}
+
+func TestFrozenStandardizerConcurrentReads(t *testing.T) {
+	// After Freeze, SameClass/Canonical must perform no writes: this
+	// test exists to run under -race with concurrent readers.
+	tbl := dataset.NewTable(dataset.Schema{{Name: "Venue", Kind: dataset.String}})
+	for _, v := range []string{"SIGMOD", "ACM SIGMOD", "SIGMOD Conf.", "VLDB", "PVLDB", "ICDE"} {
+		tbl.MustAppend([]dataset.Value{dataset.Str(v)})
+	}
+	s := NewStandardizer(tbl, 0)
+	s.Approve("SIGMOD", "ACM SIGMOD")
+	s.Approve("ACM SIGMOD", "SIGMOD Conf.")
+	s.Approve("VLDB", "PVLDB")
+	s.Freeze()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if got := s.Canonical("SIGMOD Conf."); got != "SIGMOD" {
+					t.Errorf("Canonical = %q", got)
+					return
+				}
+				if !s.SameClass("VLDB", "PVLDB") || s.SameClass("ICDE", "VLDB") {
+					t.Error("SameClass wrong on frozen standardizer")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Approve re-dirties; a second Freeze restores the invariant.
+	s.Approve("ICDE", "VLDB")
+	s.Freeze()
+	if !s.SameClass("ICDE", "PVLDB") {
+		t.Fatal("post-freeze Approve lost")
 	}
 }

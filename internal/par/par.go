@@ -1,0 +1,64 @@
+// Package par provides the bounded fan-out primitive the hot paths
+// (benefit annotation, forest training) are parallelized with. The
+// contract that keeps parallel runs bit-identical to sequential ones is
+// the index-write reduction rule: work item i may write only to slot i
+// of a result slice that exists before the fan-out. No shared
+// accumulators, no channels carrying results in completion order —
+// ordering then never depends on the scheduler, and Workers=1 and
+// Workers=N produce the same bytes. See DESIGN.md "Concurrency and
+// determinism".
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values < 1 select
+// GOMAXPROCS (all the hardware allows), anything else is taken as-is.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEachIndex runs fn(i) for every i in [0, n) across at most workers
+// goroutines (workers < 1 selects GOMAXPROCS). It returns when all calls
+// have finished. Work is handed out by an atomic counter, so goroutines
+// stay busy under uneven per-item cost; fn must confine its writes to
+// data owned by item i (the index-write rule) for the reduction to be
+// deterministic. With workers == 1 or n <= 1 it degenerates to a plain
+// loop on the caller's goroutine — no goroutines, no synchronization.
+func ForEachIndex(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

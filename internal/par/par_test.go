@@ -1,0 +1,60 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachIndexCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 1000
+		hits := make([]int32, n)
+		ForEachIndex(workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestForEachIndexDeterministicReduction is the index-write rule in
+// miniature: every worker count yields the same result slice.
+func TestForEachIndexDeterministicReduction(t *testing.T) {
+	const n = 512
+	want := make([]float64, n)
+	ForEachIndex(1, n, func(i int) { want[i] = float64(i) * 1.5 })
+	for _, workers := range []int{2, 4, 8} {
+		got := make([]float64, n)
+		ForEachIndex(workers, n, func(i int) { got[i] = float64(i) * 1.5 })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachIndexEmptyAndTiny(t *testing.T) {
+	ForEachIndex(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+	ran := false
+	ForEachIndex(4, 1, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("fn not called for n=1")
+	}
+}

@@ -533,6 +533,40 @@ func (s *Session) edgeShowsValues(e *erg.Edge, c int, v1, v2 string) bool {
 	return (ta == v1 && tb == v2) || (ta == v2 && tb == v1)
 }
 
+// annotateERG prices the ERG with the estimation-based benefit model
+// (framework step 4a): the session's standardizers are frozen so
+// concurrent hypothetical-visualization builds never write shared state,
+// then the per-edge/per-repair pricing fans out across workers. Returns
+// the number of unique hypothetical visualizations derived.
+func (s *Session) annotateERG(g *erg.Graph, base *vis.Data, workers int) int {
+	s.freezeShared()
+	est := &benefit.Estimator{
+		Dist:         s.cfg.Dist,
+		Base:         base,
+		Hypothetical: s.hypotheticalVis,
+		Workers:      workers,
+	}
+	return est.Annotate(g)
+}
+
+// BuildAnnotatedERG runs detection, ERG construction and benefit
+// annotation (framework steps 2–4a) against the current session state
+// without asking the user anything, at the given worker count (< 1
+// selects GOMAXPROCS). Session state is untouched, so repeated calls
+// return identically annotated graphs — the entry point for benchmarks
+// and diagnostics that need to measure or inspect the benefit model in
+// isolation.
+func (s *Session) BuildAnnotatedERG(workers int) (*erg.Graph, int, error) {
+	before, err := s.CurrentVis()
+	if err != nil {
+		return nil, 0, err
+	}
+	qs := s.detectQuestions()
+	g := s.buildERG(qs)
+	evals := s.annotateERG(g, before, workers)
+	return g, evals, nil
+}
+
 // runCompositeIteration performs steps 3–5 with a CQG.
 func (s *Session) runCompositeIteration(ctx context.Context, user User, qs questionSet, before *vis.Data, rep *Report) error {
 	start := time.Now()
@@ -544,14 +578,10 @@ func (s *Session) runCompositeIteration(ctx context.Context, user User, qs quest
 		return nil
 	}
 
-	// Step 4a: benefit model.
+	// Step 4a: benefit model — parallel across cfg.Workers, bit-identical
+	// at every worker count (see DESIGN.md "Concurrency and determinism").
 	start = time.Now()
-	est := &benefit.Estimator{
-		Dist:         s.cfg.Dist,
-		Base:         before,
-		Hypothetical: s.hypotheticalVis,
-	}
-	est.Annotate(g)
+	rep.BenefitEvals = s.annotateERG(g, before, s.cfg.Workers)
 	rep.Timings.Benefit = time.Since(start)
 
 	// Step 4b: CQG selection.
@@ -578,6 +608,7 @@ func (s *Session) runCompositeIteration(ctx context.Context, user User, qs quest
 	cqg := g.InducedSubgraph(res.Vertices)
 	rep.CQGVertices = cqg.NumVertices()
 	rep.CQGEdges = cqg.NumEdges()
+	rep.CQGMembers = append([]dataset.TupleID(nil), res.Vertices...)
 	rep.EstimatedBenefit = res.Benefit
 
 	// Step 5: user answers the CQG; answers are applied immediately.

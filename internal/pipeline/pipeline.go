@@ -102,6 +102,12 @@ type Config struct {
 	// Seed drives every stochastic component.
 	Seed int64
 
+	// Workers bounds the fan-out of the parallel hot paths (benefit
+	// annotation, forest training): < 1 selects GOMAXPROCS, 1 runs
+	// strictly sequentially. Every worker count produces bit-identical
+	// sessions — see DESIGN.md "Concurrency and determinism".
+	Workers int
+
 	// Ablation switches (see DESIGN.md "Design deviations" and the
 	// BenchmarkAblation_* benches): disable individual stabilizing
 	// mechanisms to measure their contribution.
@@ -133,8 +139,32 @@ func (c *Config) withDefaults() Config {
 		out.Dist = distance.Default
 	}
 	if out.RF.NumTrees == 0 {
+		seed := out.RF.Seed
 		out.RF = rf.DefaultConfig()
+		out.RF.Seed = seed
+	}
+	// Zero-valued RF hyperparameters inherit the defaults even when the
+	// caller customized others (rf.Train rejects zero depth/leaf).
+	def := rf.DefaultConfig()
+	if out.RF.MaxDepth == 0 {
+		out.RF.MaxDepth = def.MaxDepth
+	}
+	if out.RF.MinLeaf == 0 {
+		out.RF.MinLeaf = def.MinLeaf
+	}
+	if out.RF.FeatureFrac == 0 {
+		out.RF.FeatureFrac = def.FeatureFrac
+	}
+	// The RF seed derives from Config.Seed whenever it is unset —
+	// including when the caller customized other RF knobs. Gating this
+	// on the whole RF config being defaulted (as an earlier version did)
+	// silently trained identical forests for differently-seeded
+	// sessions as soon as a caller touched RF.NumTrees.
+	if out.RF.Seed == 0 {
 		out.RF.Seed = c.Seed + 1
+	}
+	if out.RF.Workers == 0 {
+		out.RF.Workers = out.Workers
 	}
 	if out.ClusterThreshold == 0 {
 		out.ClusterThreshold = 0.5
@@ -558,6 +588,13 @@ type Report struct {
 	// (zero for the Single baseline).
 	CQGVertices int
 	CQGEdges    int
+	// CQGMembers is the selected CQG's vertex set, sorted by tuple id
+	// (nil for the Single baseline). The determinism suite compares
+	// these across runs and worker counts.
+	CQGMembers []dataset.TupleID
+	// BenefitEvals counts the unique hypothetical visualizations the
+	// benefit model derived this iteration (memo cache misses).
+	BenefitEvals int
 	// Questions asked, split by kind, and how many went unanswered
 	// (incomplete user input).
 	TQuestions, AQuestions, MQuestions, OQuestions int

@@ -10,19 +10,36 @@ import (
 	"visclean/internal/vis"
 )
 
+// cellOverride substitutes one cell's value while building a view — the
+// pure-function replacement for the old "write the hypothetical repair
+// into the working table, execute, restore" dance, which made M/O
+// hypothesis pricing unsafe to run on more than one goroutine.
+type cellOverride struct {
+	id  dataset.TupleID
+	col int
+	val dataset.Value
+}
+
 // buildView derives the cleaned relation the visualization runs over:
 // entity clusters consolidate into one record each (golden record), and
 // every A-question column is rewritten to its canonical value. The
-// session's working table is untouched.
+// session's working table is untouched. A non-nil override substitutes
+// one cell on the fly (hypothetical M/O repairs).
 //
 // Consolidation resolves each column by majority vote over the cluster's
 // non-null values; numeric ties resolve to the median (the paper's
 // ground-truth Table II consolidates Elaps' 42 and 44 citations to 43),
 // string ties to the lexicographically smallest most-frequent value.
-func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardizer) *dataset.Table {
+func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardizer, ov *cellOverride) *dataset.Table {
 	schema := s.table.Schema()
 	view := dataset.NewTable(schema)
 
+	cell := func(id dataset.TupleID, c int, v dataset.Value) dataset.Value {
+		if ov != nil && ov.id == id && ov.col == c {
+			return ov.val
+		}
+		return v
+	}
 	canonical := func(c int, v dataset.Value) dataset.Value {
 		name := schema[c].Name
 		st := std[name]
@@ -44,7 +61,7 @@ func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardi
 			}
 			out := make([]dataset.Value, len(row))
 			for c, v := range row {
-				out[c] = canonical(c, v)
+				out[c] = canonical(c, cell(group[0], c, v))
 			}
 			view.MustAppend(out)
 			continue
@@ -57,7 +74,7 @@ func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardi
 				if !ok {
 					continue
 				}
-				vals = append(vals, canonical(c, v))
+				vals = append(vals, canonical(c, cell(id, c, v)))
 			}
 			out[c] = resolve(vals, schema[c].Kind)
 		}
@@ -117,7 +134,7 @@ func resolve(vals []dataset.Value, kind dataset.Kind) dataset.Value {
 // CurrentVis computes the visualization over the current cleaned view
 // (framework step 7).
 func (s *Session) CurrentVis() (*vis.Data, error) {
-	view := s.buildView(s.clusters, s.std)
+	view := s.buildView(s.clusters, s.std, nil)
 	return s.query.Execute(view)
 }
 
@@ -127,12 +144,19 @@ func (s *Session) CurrentVis() (*vis.Data, error) {
 // materialized view / suggestions for a DBA rather than destructive
 // updates — this accessor is that view.
 func (s *Session) CleanedView() *dataset.Table {
-	return s.buildView(s.clusters, s.std)
+	return s.buildView(s.clusters, s.std, nil)
 }
 
 // hypotheticalVis derives the visualization that one hypothetical user
 // answer would produce, leaving all session state untouched. Returns nil
 // when the hypothesis is inapplicable (e.g. a vanished tuple).
+//
+// This is the callback the parallel benefit engine fans out, so it must
+// be safe for concurrent calls: it only reads session state (the
+// working table, the merge list, the frozen standardizers and clusters —
+// see freezeShared) and builds private clusters / standardizer
+// clones / view tables per call. Hypothetical repairs substitute cell
+// values through overrides instead of writing to the shared table.
 func (s *Session) hypotheticalVis(h benefit.Hypothesis) *vis.Data {
 	switch h.Kind {
 	case benefit.TConfirm:
@@ -143,10 +167,10 @@ func (s *Session) hypotheticalVis(h benefit.Hypothesis) *vis.Data {
 		if override := s.tPairStandardizers(h.Pair); override != nil {
 			std = override
 		}
-		return s.execView(cl, std)
+		return s.execView(cl, std, nil)
 	case benefit.TSplit:
 		cl := s.buildClusters(nil, []em.Pair{h.Pair})
-		return s.execView(cl, s.std)
+		return s.execView(cl, s.std, nil)
 	case benefit.AApprove:
 		st := s.std[h.Column]
 		if st == nil {
@@ -156,22 +180,34 @@ func (s *Session) hypotheticalVis(h benefit.Hypothesis) *vis.Data {
 		clone := st.Clone()
 		clone.Approve(h.V1, h.V2)
 		override[h.Column] = clone
-		return s.execView(s.clusters, override)
+		return s.execView(s.clusters, override, nil)
 	case benefit.MImpute, benefit.ORepair:
-		i, ok := s.table.RowIndex(h.ID)
-		if !ok {
+		if _, ok := s.table.RowIndex(h.ID); !ok {
 			return nil
 		}
-		old := s.table.Get(i, s.yCol)
-		if err := s.table.Set(i, s.yCol, dataset.Num(h.Value)); err != nil {
+		// A numeric repair only applies to a numeric measure column —
+		// the same check the old write-then-restore path got for free
+		// from Table.Set's kind enforcement.
+		if s.table.Schema()[s.yCol].Kind != dataset.Float {
 			return nil
 		}
-		out := s.execView(s.clusters, s.std)
-		_ = s.table.Set(i, s.yCol, old) // restore
-		return out
+		return s.execView(s.clusters, s.std, &cellOverride{id: h.ID, col: s.yCol, val: dataset.Num(h.Value)})
 	default:
 		return nil
 	}
+}
+
+// freezeShared precomputes every lazy structure the hypothetical-vis
+// fan-out reads concurrently — the standardizers' path compression and
+// canonical-value caches, and the entity clusters' union-find — so that
+// during annotation they are touched without a single write. Called
+// before each benefit annotation; Approve/merge re-dirty them, but
+// answers are only applied after selection, never during annotation.
+func (s *Session) freezeShared() {
+	for _, st := range s.std {
+		st.Freeze()
+	}
+	s.clusters.Freeze()
 }
 
 // tPairStandardizers returns a standardizer override where the pair's
@@ -211,8 +247,8 @@ func cloneStdMap(in map[string]*goldenrec.Standardizer) map[string]*goldenrec.St
 
 // execView builds the view and executes the query, returning nil on
 // execution errors (hypotheses must never abort an iteration).
-func (s *Session) execView(cl *em.Clusters, std map[string]*goldenrec.Standardizer) *vis.Data {
-	view := s.buildView(cl, std)
+func (s *Session) execView(cl *em.Clusters, std map[string]*goldenrec.Standardizer, ov *cellOverride) *vis.Data {
+	view := s.buildView(cl, std, ov)
 	d, err := s.query.Execute(view)
 	if err != nil {
 		return nil

@@ -3,6 +3,8 @@ package rf
 import (
 	"fmt"
 	"math/rand"
+
+	"visclean/internal/par"
 )
 
 // Config holds the forest hyperparameters. The zero value is unusable;
@@ -13,6 +15,11 @@ type Config struct {
 	MinLeaf     int     // minimum samples per leaf
 	FeatureFrac float64 // fraction of features considered per split
 	Seed        int64   // RNG seed; training is deterministic given it
+	// Workers bounds the per-tree training fan-out: < 1 selects
+	// GOMAXPROCS, 1 trains sequentially. The forest is identical for
+	// every worker count — each tree draws from its own RNG seeded by
+	// treeSeed(Seed, t), not from a stream shared across trees.
+	Workers int
 }
 
 // DefaultConfig returns the hyperparameters used throughout VisClean.
@@ -59,19 +66,34 @@ func Train(x [][]float64, y []int, cfg Config) (*Forest, error) {
 		return nil, fmt.Errorf("rf: invalid config %+v", cfg)
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	tc := treeConfig{maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, featureFrac: cfg.FeatureFrac}
-	f := &Forest{features: nf}
+	f := &Forest{features: nf, trees: make([]*node, cfg.NumTrees)}
 	n := len(x)
-	for t := 0; t < cfg.NumTrees; t++ {
+	// Per-tree RNGs let the independent tree builds fan out across
+	// workers while keeping the forest a pure function of cfg.Seed: tree
+	// t writes only f.trees[t] (the index-write rule), and its random
+	// stream never depends on which goroutine built the other trees.
+	par.ForEachIndex(cfg.Workers, cfg.NumTrees, func(t int) {
+		rng := rand.New(rand.NewSource(treeSeed(cfg.Seed, t)))
 		// Bootstrap sample with replacement.
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = rng.Intn(n)
 		}
-		f.trees = append(f.trees, buildTree(x, y, idx, 0, tc, rng))
-	}
+		f.trees[t] = buildTree(x, y, idx, 0, tc, rng)
+	})
 	return f, nil
+}
+
+// treeSeed derives tree t's RNG seed from the forest seed with a
+// splitmix64 finalizer, so neighbouring (seed, t) inputs yield
+// decorrelated streams — naive seed+t offsets make tree t of seed s
+// share a bootstrap with tree t-1 of seed s+1.
+func treeSeed(seed int64, t int) int64 {
+	z := uint64(seed) + uint64(t+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // PredictProba returns the forest's estimate of P(label == 1): the mean

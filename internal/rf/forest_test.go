@@ -160,6 +160,55 @@ func TestPredictPanicsOnWrongWidth(t *testing.T) {
 	f.PredictProba([]float64{1})
 }
 
+func TestTrainWorkerCountInvariance(t *testing.T) {
+	// The forest is a pure function of cfg.Seed: per-tree RNGs mean the
+	// worker count (and hence goroutine scheduling) must not change a
+	// single prediction.
+	rng := rand.New(rand.NewSource(5))
+	x, y := linearlySeparable(rng, 300)
+	probes, _ := linearlySeparable(rng, 100)
+	var ref []float64
+	for _, workers := range []int{1, 2, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		f, err := Train(x, y, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds := make([]float64, len(probes))
+		for i, p := range probes {
+			preds[i] = f.PredictProba(p)
+		}
+		if ref == nil {
+			ref = preds
+			continue
+		}
+		for i := range preds {
+			if preds[i] != ref[i] {
+				t.Fatalf("workers=%d: probe %d predicts %v, workers=1 predicted %v", workers, i, preds[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestTreeSeedDecorrelated(t *testing.T) {
+	// Naive seed+t offsets make tree t of seed s equal tree t-1 of seed
+	// s+1; the splitmix64 mix must not.
+	if treeSeed(1, 1) == treeSeed(2, 0) {
+		t.Fatal("treeSeed(1,1) == treeSeed(2,0): adjacent forests share tree streams")
+	}
+	seen := map[int64]bool{}
+	for s := int64(0); s < 8; s++ {
+		for tr := 0; tr < 8; tr++ {
+			v := treeSeed(s, tr)
+			if seen[v] {
+				t.Fatalf("duplicate tree seed %d at (%d,%d)", v, s, tr)
+			}
+			seen[v] = true
+		}
+	}
+}
+
 func BenchmarkTrain(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	x, y := linearlySeparable(rng, 500)

@@ -1,6 +1,7 @@
 package stringsim
 
 import (
+	"math"
 	"sort"
 )
 
@@ -21,12 +22,14 @@ type Pair struct {
 // The result is sorted by descending similarity, ties broken by (I, J),
 // so downstream question generation is deterministic.
 func Join(a, b []string, threshold float64) []Pair {
-	if threshold < 0 || threshold >= 1 {
-		// threshold==1 would require identical token sets; allow it via
-		// clamping rather than erroring, but negative thresholds are bugs.
-		if threshold < 0 {
-			threshold = 0
-		}
+	if threshold < 0 {
+		threshold = 0
+	}
+	if threshold >= 1 {
+		// The result predicate is sim > threshold, so threshold >= 1
+		// would match nothing (Jaccard never exceeds 1). Clamp to just
+		// below 1: only identical token sets (sim == 1) qualify.
+		threshold = math.Nextafter(1, 0)
 	}
 	tokensA := tokenize(a)
 	tokensB := tokenize(b)
@@ -69,7 +72,8 @@ func Join(a, b []string, threshold float64) []Pair {
 		}
 	}
 
-	seen := make(map[[2]int]struct{})
+	// candidates is rebuilt per i and i never repeats, so (i, j) pairs
+	// are already unique — no cross-iteration dedup needed.
 	var out []Pair
 	for i, ts := range tokensA {
 		candidates := make(map[int]struct{})
@@ -79,11 +83,6 @@ func Join(a, b []string, threshold float64) []Pair {
 			}
 		}
 		for j := range candidates {
-			key := [2]int{i, j}
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			seen[key] = struct{}{}
 			sim := JaccardSets(setOf(ts), setOf(tokensB[j]))
 			if sim > threshold {
 				out = append(out, Pair{I: i, J: j, Sim: sim})

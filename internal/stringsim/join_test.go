@@ -67,6 +67,18 @@ func TestJoinNegativeThresholdClamped(t *testing.T) {
 	}
 }
 
+func TestJoinThresholdOneClamped(t *testing.T) {
+	// threshold >= 1 clamps to just below 1: identical token sets
+	// (sim == 1) still join, anything less does not.
+	pairs := Join([]string{"sigmod conf", "sigmod"}, []string{"conf sigmod", "vldb"}, 1)
+	if len(pairs) != 1 || pairs[0].I != 0 || pairs[0].J != 0 || pairs[0].Sim != 1 {
+		t.Fatalf("pairs = %v, want exactly the identical-token-set pair", pairs)
+	}
+	if pairs := Join([]string{"a"}, []string{"a"}, 2); len(pairs) != 1 {
+		t.Fatalf("threshold 2 should clamp like 1, got %v", pairs)
+	}
+}
+
 func TestJoinEmptyInputs(t *testing.T) {
 	if p := Join(nil, []string{"x"}, 0.5); len(p) != 0 {
 		t.Fatal("empty left side should yield no pairs")

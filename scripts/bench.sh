@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh — run the performance-tracking benchmarks and record their
+# metrics as JSON (BENCH_pr2.json) so future changes can be compared
+# against a committed baseline. BenchmarkAnnotate isolates the benefit
+# engine hot path at Workers=1 vs Workers=8 (bit-identical results,
+# different wall-clock on multi-core hosts); Fig10 is the end-to-end
+# progression smoke.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr2.json}"
+
+raw=$(go test -run xxx -bench 'BenchmarkAnnotate|BenchmarkFig10' -benchtime=1x -count=1 . 2>&1)
+echo "$raw"
+
+echo "$raw" | awk -v out="$out" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop[name] = $3
+    for (i = 5; i < NF; i += 2) metric[name "." $(i+1)] = $i
+    order[n++] = name
+}
+END {
+    printf "{\n" > out
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n" >> out
+    printf "  \"go_bench\": {\n" >> out
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", name, nsop[name] >> out
+        for (m in metric) {
+            split(m, parts, ".")
+            if (parts[1] == name) printf ", \"%s\": %s", parts[2], metric[m] >> out
+        }
+        printf "}%s\n", (i + 1 < n ? "," : "") >> out
+    }
+    printf "  }\n}\n" >> out
+}
+'
+echo "wrote $out"

@@ -1,6 +1,9 @@
 #!/bin/sh
-# check.sh — the repo's verification gate: build, vet, then the full
-# test suite with the race detector on. CI and pre-commit both run this.
+# check.sh — the repo's verification gate: build, vet, the full test
+# suite with the race detector on, the determinism suite (same seed and
+# Workers=1 vs Workers=8 must be byte-identical — this is what the
+# parallel benefit engine promises), and a one-shot benchmark smoke so
+# the bench harness cannot rot. CI and pre-commit both run this.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,5 +16,11 @@ go vet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== determinism suite (-race)"
+go test -race -count=1 -run 'TestDeterminism' ./internal/pipeline/
+
+echo "== benchmark smoke (Fig 10, 1 iteration)"
+go test -run xxx -bench 'BenchmarkFig10' -benchtime=1x .
 
 echo "== OK"
