@@ -13,6 +13,7 @@ import (
 
 	"visclean/internal/datagen"
 	"visclean/internal/experiments"
+	"visclean/internal/oracle"
 	"visclean/internal/pipeline"
 	"visclean/internal/vql"
 )
@@ -165,12 +166,13 @@ func BenchmarkFig18_ComponentTime(b *testing.B) {
 }
 
 // annotateSession builds one D1 session at the given scale for the
-// benefit-annotation benchmark.
-func annotateSession(b *testing.B, scale float64, workers int) *pipeline.Session {
+// benefit-annotation benchmark. noInc switches off the incremental
+// delta pricer so the benchmark can compare it against full rebuilds.
+func annotateSession(b *testing.B, scale float64, workers int, noInc bool) *pipeline.Session {
 	b.Helper()
 	d := datagen.D1(datagen.Config{Scale: scale, Seed: 1})
 	q := vql.MustParse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
-	s, err := pipeline.NewSession(d.Dirty, q, d.KeyColumns, pipeline.Config{Seed: 1, Workers: workers})
+	s, err := pipeline.NewSession(d.Dirty, q, d.KeyColumns, pipeline.Config{Seed: 1, Workers: workers, NoIncremental: noInc})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -178,20 +180,31 @@ func annotateSession(b *testing.B, scale float64, workers int) *pipeline.Session
 }
 
 // BenchmarkAnnotate isolates the benefit-model hot path — pricing every
-// edge and vertex repair of the first iteration's ERG — at worker counts
-// 1 and 8. The parallel engine guarantees bit-identical annotation at
-// any worker count (the sub-benchmarks cross-check it), so the only
-// difference is wall-clock. evals/op reports unique hypothetical
-// visualizations priced (memo cache misses); on a single-core runner the
-// memoization, not the fan-out, is what cuts time versus a pre-memo
-// build.
+// edge and vertex repair of the first iteration's ERG. Sub-benchmarks
+// cover the incremental delta pricer at worker counts 1 and 8 plus a
+// FullRebuild variant (NoIncremental) that re-executes the query per
+// hypothesis the way PR 2 did — the ns/op ratio between FullRebuild and
+// Workers1 is the speedup the delta pricer buys. All variants are
+// bit-identical (cross-checked against the Workers1 edge benefits), so
+// the only difference is wall-clock. evals/op reports unique hypotheses
+// priced (memo cache misses); the pricer sits inside the memoized path,
+// so evals is the same in every variant.
 func BenchmarkAnnotate(b *testing.B) {
 	const scale = 0.05
 	var baseline []float64 // Workers=1 edge benefits, for cross-check
-	for _, workers := range []int{1, 8} {
-		workers := workers
-		b.Run(map[int]string{1: "Workers1", 8: "Workers8"}[workers], func(b *testing.B) {
-			s := annotateSession(b, scale, workers)
+	for _, v := range []struct {
+		name    string
+		workers int
+		noInc   bool
+	}{
+		{"Workers1", 1, false},
+		{"Workers8", 8, false},
+		{"FullRebuild", 1, true},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			s := annotateSession(b, scale, v.workers, v.noInc)
+			workers := v.workers
 			var evals int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -205,15 +218,15 @@ func BenchmarkAnnotate(b *testing.B) {
 					benefits[e] = g.Edge(e).Benefit
 				}
 				b.StopTimer()
-				if workers == 1 {
+				if v.name == "Workers1" {
 					baseline = benefits
 				} else if baseline != nil {
 					if len(benefits) != len(baseline) {
-						b.Fatalf("edge count differs across worker counts: %d vs %d", len(benefits), len(baseline))
+						b.Fatalf("edge count differs across variants: %d vs %d", len(benefits), len(baseline))
 					}
 					for e := range benefits {
 						if benefits[e] != baseline[e] {
-							b.Fatalf("edge %d benefit differs across worker counts: %v vs %v", e, benefits[e], baseline[e])
+							b.Fatalf("edge %d benefit differs across variants: %v vs %v", e, benefits[e], baseline[e])
 						}
 					}
 				}
@@ -221,6 +234,34 @@ func BenchmarkAnnotate(b *testing.B) {
 			}
 			b.ReportMetric(float64(evals), "evals/op")
 		})
+	}
+}
+
+// BenchmarkIterationPhases runs one full cleaning iteration and reports
+// the per-phase breakdown (Report.Timings) as custom metrics, so
+// BENCH_pr3.json records where iteration time goes — in particular how
+// small the annotate (Benefit) slice is now that pricing is incremental.
+func BenchmarkIterationPhases(b *testing.B) {
+	const scale = 0.05
+	d := datagen.D1(datagen.Config{Scale: scale, Seed: 1})
+	q := vql.MustParse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := pipeline.NewSession(d.Dirty.Clone(), q, d.KeyColumns, pipeline.Config{Seed: 1, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		user := oracle.New(d.Truth, 1)
+		b.StartTimer()
+		rep, err := s.RunIteration(user)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tm := rep.Timings
+		b.ReportMetric(float64(tm.Detect.Microseconds()), "detect_µs")
+		b.ReportMetric(float64(tm.BuildERG.Microseconds()), "buildERG_µs")
+		b.ReportMetric(float64(tm.Benefit.Microseconds()), "annotate_µs")
+		b.ReportMetric(float64(tm.Select.Microseconds()), "select_µs")
 	}
 }
 

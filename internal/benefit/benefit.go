@@ -92,6 +92,14 @@ type Estimator struct {
 	Hypothetical func(h Hypothesis) *vis.Data
 	Workers      int
 
+	// Pricer, when set, is tried before the full Hypothetical+Dist path:
+	// it returns the price of a hypothesis directly (typically via
+	// incremental delta evaluation), with ok=false meaning "cannot price
+	// this one incrementally" — the estimator then falls back to the full
+	// rebuild. A Pricer must be bit-identical to the full path and, like
+	// Hypothetical, safe for concurrent calls when Workers > 1.
+	Pricer func(h Hypothesis) (float64, bool)
+
 	mu    sync.Mutex
 	memo  map[Hypothesis]*memoEntry
 	evals atomic.Int64 // unique Hypothetical invocations (cache misses)
@@ -144,6 +152,11 @@ func (e *Estimator) dist(h Hypothesis) float64 {
 }
 
 func (e *Estimator) rawDist(h Hypothesis) float64 {
+	if e.Pricer != nil {
+		if v, ok := e.Pricer(h); ok {
+			return v
+		}
+	}
 	after := e.Hypothetical(h)
 	if after == nil {
 		return 0

@@ -68,7 +68,16 @@ func BuildClustersSorted(t *dataset.Table, sorted []ScoredPair, cfg ClusterConfi
 		c.index[id] = i
 		c.ids[i] = id
 	}
-	c.uf = NewUnionFind(t.NumRows())
+	clusterInto(c, sorted, cfg.Confirmed, cfg.Split)
+	return c
+}
+
+// clusterInto runs the constrained merge process over a Clusters whose
+// index/ids are already populated: cannot-links first, then must-links,
+// then model merges in descending probability. Shared by the one-shot
+// builders and ClusterBuilder so the two paths cannot diverge.
+func clusterInto(c *Clusters, sorted []ScoredPair, confirmed, split []Pair) {
+	c.uf = NewUnionFind(len(c.ids))
 
 	// cannotRoots[root] is the set of roots this set must never join.
 	cannot := make(map[int]map[int]struct{})
@@ -125,7 +134,7 @@ func BuildClustersSorted(t *dataset.Table, sorted []ScoredPair, cfg ClusterConfi
 	}
 
 	// 1. Cannot-links first so they constrain everything after.
-	for _, p := range cfg.Split {
+	for _, p := range split {
 		ia, okA := c.index[p.A]
 		ib, okB := c.index[p.B]
 		if !okA || !okB {
@@ -136,7 +145,7 @@ func BuildClustersSorted(t *dataset.Table, sorted []ScoredPair, cfg ClusterConfi
 	// 2. Must-links. A must-link conflicting with a cannot-link is
 	// dropped (the user contradicted themselves; cannot-link wins as the
 	// safer interpretation — not merging never corrupts data).
-	for _, p := range cfg.Confirmed {
+	for _, p := range confirmed {
 		merge(p.A, p.B)
 	}
 	// 3. Model merges in descending probability so stronger evidence
@@ -144,7 +153,6 @@ func BuildClustersSorted(t *dataset.Table, sorted []ScoredPair, cfg ClusterConfi
 	for _, sp := range sorted {
 		merge(sp.Pair.A, sp.Pair.B)
 	}
-	return c
 }
 
 // Freeze settles the underlying union-find (full path compression) so
@@ -174,6 +182,94 @@ func (c *Clusters) Groups(minSize int) [][]dataset.TupleID {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
 	return out
+}
+
+// Root returns an opaque identifier of id's current cluster: two tuples
+// are the same entity iff their roots are equal. It may path-halve the
+// forest, so it is not safe for concurrent use unless the receiver is
+// frozen; the delta pricer only calls it on private, per-hypothesis
+// partitions.
+func (c *Clusters) Root(id dataset.TupleID) (int, bool) {
+	i, ok := c.index[id]
+	if !ok {
+		return 0, false
+	}
+	return c.uf.Find(i), true
+}
+
+// GroupIntact reports whether members (non-empty) is exactly one cluster
+// of c — the partition-diff primitive of incremental hypothesis pricing:
+// a base cluster that is intact under a hypothetical partition keeps its
+// consolidated view row unchanged.
+func (c *Clusters) GroupIntact(members []dataset.TupleID) bool {
+	i0, ok := c.index[members[0]]
+	if !ok {
+		return false
+	}
+	if c.uf.SetSize(i0) != len(members) {
+		return false
+	}
+	root := c.uf.Find(i0)
+	for _, id := range members[1:] {
+		i, ok := c.index[id]
+		if !ok || c.uf.Find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// ClusterBuilder amortizes the per-table setup of clustering (the tuple
+// index) across many Build calls. The benefit model rebuilds the entity
+// partition for every T-hypothesis; with the builder each rebuild costs
+// one union-find pass over the shared merge list instead of also paying
+// an O(n) map construction per hypothesis. A builder is safe for
+// concurrent Build calls: it only reads its captured state, and every
+// Build returns a private Clusters (sharing the immutable index/ids).
+type ClusterBuilder struct {
+	index     map[dataset.TupleID]int
+	ids       []dataset.TupleID
+	sorted    []ScoredPair
+	confirmed []Pair
+	split     []Pair
+}
+
+// NewClusterBuilder captures the table's tuple index plus the shared
+// merge list and accumulated user constraints. The captured slices are
+// referenced, not copied — callers must not mutate them while the
+// builder is in use.
+func NewClusterBuilder(t *dataset.Table, sorted []ScoredPair, cfg ClusterConfig) *ClusterBuilder {
+	b := &ClusterBuilder{
+		index:     make(map[dataset.TupleID]int, t.NumRows()),
+		ids:       make([]dataset.TupleID, t.NumRows()),
+		sorted:    sorted,
+		confirmed: cfg.Confirmed,
+		split:     cfg.Split,
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		id := t.ID(i)
+		b.index[id] = i
+		b.ids[i] = id
+	}
+	return b
+}
+
+// Build partitions the tuples under the captured constraints plus the
+// extra hypothetical ones, exactly as BuildClustersSorted would with the
+// extras appended — the merge process is shared code, so the resulting
+// partition is bit-identical.
+func (b *ClusterBuilder) Build(extraConfirm, extraSplit []Pair) *Clusters {
+	conf := b.confirmed
+	spl := b.split
+	if len(extraConfirm) > 0 {
+		conf = append(append([]Pair(nil), conf...), extraConfirm...)
+	}
+	if len(extraSplit) > 0 {
+		spl = append(append([]Pair(nil), spl...), extraSplit...)
+	}
+	c := &Clusters{index: b.index, ids: b.ids}
+	clusterInto(c, b.sorted, conf, spl)
+	return c
 }
 
 // ClusterOf returns all members of the tuple's entity, sorted.

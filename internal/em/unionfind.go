@@ -1,5 +1,7 @@
 package em
 
+import "sort"
+
 // UnionFind is a disjoint-set forest with union by size and path
 // compression, keyed by dense integer indices.
 type UnionFind struct {
@@ -83,14 +85,7 @@ func (uf *UnionFind) Groups(minSize int) [][]int {
 			out = append(out, members) // members are appended in index order
 		}
 	}
-	sortGroups(out)
+	// First members are distinct across sets, so this order is total.
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
 	return out
-}
-
-func sortGroups(groups [][]int) {
-	for i := 1; i < len(groups); i++ {
-		for j := i; j > 0 && groups[j][0] < groups[j-1][0]; j-- {
-			groups[j], groups[j-1] = groups[j-1], groups[j]
-		}
-	}
 }

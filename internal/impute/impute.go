@@ -5,10 +5,8 @@
 package impute
 
 import (
-	"sort"
-
 	"visclean/internal/dataset"
-	"visclean/internal/stringsim"
+	"visclean/internal/knn"
 )
 
 // DefaultK is the paper's neighbourhood size (k=5).
@@ -23,43 +21,34 @@ type Suggestion struct {
 	Neighbors []dataset.TupleID
 }
 
-// Imputer indexes a table for kNN value suggestion. Build one per
-// iteration (token sets are cached per row).
+// Imputer ranks neighbours through a shared kNN index for value
+// suggestion. Build one per iteration; the token index itself can be
+// reused across iterations (see knn.Index).
 type Imputer struct {
-	table  *dataset.Table
-	yCol   int
-	k      int
-	tokens []map[string]struct{}
+	table *dataset.Table
+	yCol  int
+	k     int
+	ix    *knn.Index
 }
 
 // New builds an imputer over column yCol of t with neighbourhood size k
-// (k <= 0 selects DefaultK). The concatenated-row token sets exclude the
-// Y column itself so a candidate's own (possibly wrong) Y value does not
-// influence which neighbours are chosen — required for outlier repair
-// where Y is present but suspect.
+// (k <= 0 selects DefaultK), constructing a private kNN index. The
+// concatenated-row token sets exclude the Y column itself so a
+// candidate's own (possibly wrong) Y value does not influence which
+// neighbours are chosen — required for outlier repair where Y is present
+// but suspect.
 func New(t *dataset.Table, yCol, k int) *Imputer {
+	return NewWithIndex(knn.NewIndex(t, yCol), k)
+}
+
+// NewWithIndex builds an imputer over a prebuilt kNN index (the Y column
+// is the index's skip column), sharing the tokenization cost with other
+// consumers of the same index.
+func NewWithIndex(ix *knn.Index, k int) *Imputer {
 	if k <= 0 {
 		k = DefaultK
 	}
-	im := &Imputer{table: t, yCol: yCol, k: k}
-	im.tokens = make([]map[string]struct{}, t.NumRows())
-	for i := 0; i < t.NumRows(); i++ {
-		im.tokens[i] = rowTokens(t, i, yCol)
-	}
-	return im
-}
-
-func rowTokens(t *dataset.Table, row, skipCol int) map[string]struct{} {
-	set := make(map[string]struct{})
-	for c := 0; c < t.NumCols(); c++ {
-		if c == skipCol {
-			continue
-		}
-		for _, tok := range stringsim.Tokenize(t.Get(row, c).String()) {
-			set[tok] = struct{}{}
-		}
-	}
-	return set
+	return &Imputer{table: ix.Table(), yCol: ix.SkipCol(), k: k, ix: ix}
 }
 
 // SuggestFor computes the repair suggestion for one tuple id. ok is false
@@ -69,41 +58,21 @@ func (im *Imputer) SuggestFor(id dataset.TupleID) (Suggestion, bool) {
 	if !ok {
 		return Suggestion{}, false
 	}
-	type scored struct {
-		row int
-		sim float64
-	}
-	var cands []scored
-	for i := 0; i < im.table.NumRows(); i++ {
-		if i == row {
-			continue
-		}
-		if _, hasY := im.table.Get(i, im.yCol).Float(); !hasY {
-			continue
-		}
-		cands = append(cands, scored{row: i, sim: stringsim.JaccardSets(im.tokens[row], im.tokens[i])})
-	}
-	if len(cands) == 0 {
-		return Suggestion{}, false
-	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].sim != cands[b].sim {
-			return cands[a].sim > cands[b].sim
-		}
-		return im.table.ID(cands[a].row) < im.table.ID(cands[b].row)
+	neighbors := im.ix.Nearest(row, im.k, func(i int) bool {
+		_, hasY := im.table.Get(i, im.yCol).Float()
+		return hasY
 	})
-	k := im.k
-	if k > len(cands) {
-		k = len(cands)
+	if len(neighbors) == 0 {
+		return Suggestion{}, false
 	}
 	sum := 0.0
 	s := Suggestion{ID: id}
-	for _, c := range cands[:k] {
-		y, _ := im.table.Get(c.row, im.yCol).Float()
+	for _, n := range neighbors {
+		y, _ := im.table.Get(n.Row, im.yCol).Float()
 		sum += y
-		s.Neighbors = append(s.Neighbors, im.table.ID(c.row))
+		s.Neighbors = append(s.Neighbors, n.ID)
 	}
-	s.Value = sum / float64(k)
+	s.Value = sum / float64(len(neighbors))
 	return s, true
 }
 

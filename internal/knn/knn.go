@@ -1,0 +1,97 @@
+// Package knn provides a shared nearest-neighbour index over a table's
+// row token sets. The missing-value imputer and the outlier repairer
+// both rank candidate rows by the token Jaccard of the concatenated
+// non-measure attributes; before this package each of them tokenized the
+// whole table privately, paying the dominant detection cost twice per
+// iteration. One Index is built per table (the pipeline caches it for
+// the session: token sets exclude the measure column, which is the only
+// column cleaning ever rewrites, so the index never goes stale).
+package knn
+
+import (
+	"sort"
+
+	"visclean/internal/dataset"
+	"visclean/internal/stringsim"
+)
+
+// Index holds per-row token sets for similarity search. Immutable after
+// construction; safe for concurrent Nearest calls.
+type Index struct {
+	table   *dataset.Table
+	skipCol int
+	tokens  []map[string]struct{}
+}
+
+// NewIndex tokenizes every row of t, excluding skipCol (the measure
+// column, so a row's own — possibly corrupt — measure value never
+// influences which neighbours are chosen).
+func NewIndex(t *dataset.Table, skipCol int) *Index {
+	ix := &Index{table: t, skipCol: skipCol}
+	ix.tokens = make([]map[string]struct{}, t.NumRows())
+	for i := 0; i < t.NumRows(); i++ {
+		ix.tokens[i] = rowTokens(t, i, skipCol)
+	}
+	return ix
+}
+
+func rowTokens(t *dataset.Table, row, skipCol int) map[string]struct{} {
+	set := make(map[string]struct{})
+	for c := 0; c < t.NumCols(); c++ {
+		if c == skipCol {
+			continue
+		}
+		for _, tok := range stringsim.Tokenize(t.Get(row, c).String()) {
+			set[tok] = struct{}{}
+		}
+	}
+	return set
+}
+
+// Table returns the indexed table.
+func (ix *Index) Table() *dataset.Table { return ix.table }
+
+// SkipCol returns the excluded column index.
+func (ix *Index) SkipCol() int { return ix.skipCol }
+
+// Tokens returns the token set of one row. Callers must not mutate it.
+func (ix *Index) Tokens(row int) map[string]struct{} { return ix.tokens[row] }
+
+// Neighbor is one similarity-ranked candidate row.
+type Neighbor struct {
+	Row int
+	ID  dataset.TupleID
+	Sim float64
+}
+
+// Nearest returns up to k rows most similar to row, excluding row itself
+// and any candidate rejected by accept (nil accepts all), ordered by
+// descending similarity with ascending tuple id as the tiebreak — the
+// deterministic ranking the imputer has always used. Candidates are
+// scored in row order, so the result is reproducible bit for bit.
+func (ix *Index) Nearest(row, k int, accept func(row int) bool) []Neighbor {
+	var cands []Neighbor
+	for i := range ix.tokens {
+		if i == row {
+			continue
+		}
+		if accept != nil && !accept(i) {
+			continue
+		}
+		cands = append(cands, Neighbor{
+			Row: i,
+			ID:  ix.table.ID(i),
+			Sim: stringsim.JaccardSets(ix.tokens[row], ix.tokens[i]),
+		})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Sim != cands[b].Sim {
+			return cands[a].Sim > cands[b].Sim
+		}
+		return cands[a].ID < cands[b].ID
+	})
+	if k > 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}

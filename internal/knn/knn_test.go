@@ -1,0 +1,87 @@
+package knn
+
+import (
+	"testing"
+
+	"visclean/internal/dataset"
+)
+
+func testTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	tbl := dataset.NewTable(dataset.Schema{
+		{Name: "Title", Kind: dataset.String},
+		{Name: "Venue", Kind: dataset.String},
+		{Name: "Citations", Kind: dataset.Float},
+	})
+	rows := [][]dataset.Value{
+		{dataset.Str("NADEEF data cleaning"), dataset.Str("SIGMOD"), dataset.Num(174)},
+		{dataset.Str("NADEEF data cleaning"), dataset.Str("SIGMOD Conf"), dataset.Num(1740)},
+		{dataset.Str("SeeDB visual analytics"), dataset.Str("VLDB"), dataset.Null(dataset.Float)},
+		{dataset.Str("Elaps time travel"), dataset.Str("ICDE"), dataset.Num(42)},
+	}
+	for _, r := range rows {
+		tbl.MustAppend(r)
+	}
+	return tbl
+}
+
+func TestNearestRankingAndSelfExclusion(t *testing.T) {
+	ix := NewIndex(testTable(t), 2)
+	ns := ix.Nearest(0, 3, nil)
+	if len(ns) != 3 {
+		t.Fatalf("expected 3 neighbours, got %d", len(ns))
+	}
+	// Row 1 shares all tokens except the venue suffix — must rank first.
+	if ns[0].Row != 1 {
+		t.Fatalf("nearest to row 0 is row %d, want 1 (%+v)", ns[0].Row, ns)
+	}
+	for _, n := range ns {
+		if n.Row == 0 {
+			t.Fatal("Nearest returned the probe row itself")
+		}
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i].Sim > ns[i-1].Sim {
+			t.Fatalf("neighbours not in descending similarity: %+v", ns)
+		}
+	}
+}
+
+func TestNearestAcceptFilter(t *testing.T) {
+	tbl := testTable(t)
+	ix := NewIndex(tbl, 2)
+	// The imputer's filter: only rows with a usable measure value.
+	hasY := func(i int) bool {
+		_, ok := tbl.Get(i, 2).Float()
+		return ok
+	}
+	for _, n := range ix.Nearest(0, 10, hasY) {
+		if n.Row == 2 {
+			t.Fatal("rejected row returned")
+		}
+	}
+}
+
+func TestSkipColExcludedFromTokens(t *testing.T) {
+	ix := NewIndex(testTable(t), 2)
+	for row := 0; row < 4; row++ {
+		for tok := range ix.Tokens(row) {
+			if tok == "174" || tok == "1740" || tok == "42" {
+				t.Fatalf("row %d tokens include measure value %q", row, tok)
+			}
+		}
+	}
+	if ix.SkipCol() != 2 {
+		t.Fatalf("SkipCol = %d", ix.SkipCol())
+	}
+}
+
+func TestNearestTruncatesToK(t *testing.T) {
+	ix := NewIndex(testTable(t), 2)
+	if got := len(ix.Nearest(0, 2, nil)); got != 2 {
+		t.Fatalf("k=2 returned %d neighbours", got)
+	}
+	if got := len(ix.Nearest(0, 0, nil)); got != 3 {
+		t.Fatalf("k=0 (unbounded) returned %d neighbours", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"visclean/internal/dataset"
 	"visclean/internal/impute"
+	"visclean/internal/knn"
 )
 
 // DefaultK is the neighbourhood size for the score.
@@ -34,6 +35,14 @@ type Detection struct {
 // value's k nearest neighbours lie in a window around its sorted
 // position, found by two-pointer expansion — O(n log n + n·k) overall.
 func Detect(t *dataset.Table, yCol, k, maxResults int) []Detection {
+	return DetectWithIndex(t, yCol, k, maxResults, nil)
+}
+
+// DetectWithIndex is Detect over a prebuilt kNN index (its skip column
+// must be yCol), so repair suggestion shares the tokenization the
+// imputer already paid for instead of re-scanning the table. A nil index
+// is built on demand.
+func DetectWithIndex(t *dataset.Table, yCol, k, maxResults int, ix *knn.Index) []Detection {
 	if k <= 0 {
 		k = DefaultK
 	}
@@ -72,7 +81,10 @@ func Detect(t *dataset.Table, yCol, k, maxResults int) []Detection {
 	}
 	// Repair suggestions are expensive (kNN over the whole table), so
 	// compute them only for the detections actually returned.
-	im := impute.New(t, yCol, k)
+	if ix == nil {
+		ix = knn.NewIndex(t, yCol)
+	}
+	im := impute.NewWithIndex(ix, k)
 	for i := range out {
 		if s, ok := im.SuggestFor(out[i].ID); ok {
 			out[i].Repair = s.Value

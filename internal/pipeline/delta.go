@@ -1,0 +1,306 @@
+package pipeline
+
+import (
+	"sort"
+
+	"visclean/internal/benefit"
+	"visclean/internal/dataset"
+	"visclean/internal/distance"
+	"visclean/internal/em"
+	"visclean/internal/goldenrec"
+	"visclean/internal/vis"
+	"visclean/internal/vql"
+)
+
+// deltaPricer prices hypotheses by incremental delta evaluation instead
+// of the full view-rebuild-and-execute path. One pricer is built per
+// iteration after freezeShared; it registers the base view's rows with
+// an incremental query executor and the base visualization with an
+// incremental distance baseline, and each hypothesis then costs only its
+// delta:
+//
+//   - an M/O cell override perturbs exactly one cluster's consolidated
+//     row;
+//   - an A-approval rewrites only the clusters whose rows carry a value
+//     of the two merged synonym classes, found through per-column
+//     value→clusters posting lists;
+//   - a T-answer rebuilds the entity partition (cheap: one union-find
+//     pass over the shared merge list) and diffs it against the base
+//     partition — only base clusters that are no longer intact, plus the
+//     posting-dirty clusters of the implied A-equations, are rebuilt.
+//
+// The partition diff is sound because every tuple belongs to exactly one
+// base cluster: if a hypothetical cluster mixed tuples of an intact base
+// cluster with others, that base cluster's root would have the wrong
+// size and GroupIntact would have flagged it dirty. Dirty tuples can
+// therefore be regrouped among themselves.
+//
+// Bit-identity: every float produced here is computed by the same code
+// in the same order as the full path — rows via viewRowFor (shared with
+// buildView), charts via vql.Incremental (contract-tested against
+// Execute), distances via distance.Baseline (replays Default's exact
+// arithmetic). price returns ok=false whenever a hypothesis falls
+// outside the incremental fast path (unknown value, construction
+// failure); the estimator then falls back to the full rebuild, so
+// correctness never depends on coverage.
+//
+// The pricer is immutable after construction and safe for concurrent
+// price calls: it reads only frozen session state and per-call private
+// structures.
+type deltaPricer struct {
+	s    *Session
+	base *distance.Baseline
+	exec *vql.Incremental
+
+	groups  [][]dataset.TupleID // base partition, Groups(1) order
+	ranks   []int64             // ranks[gi] = int64(groups[gi][0])
+	hasRow  []bool              // group produced a base view row
+	groupOf map[dataset.TupleID]int
+
+	// posting[col][rep] lists the groups (ascending) with a member whose
+	// col value canonicalizes to rep; rawRep[col][raw] resolves a raw
+	// value to its canonical representative under the frozen base
+	// standardizers. Both are built single-threaded here because
+	// Standardizer.Canonical may write its cache on first sight of a
+	// value — at price time only these read-only maps are consulted.
+	posting map[string]map[string][]int
+	rawRep  map[string]map[string]string
+
+	builder  *em.ClusterBuilder
+	yNumeric bool
+}
+
+// newDeltaPricer captures the base state of one iteration. Callers must
+// freezeShared first. Returns nil when the query cannot be evaluated
+// incrementally (the estimator then uses the full path throughout).
+func (s *Session) newDeltaPricer(base *vis.Data) *deltaPricer {
+	p := &deltaPricer{
+		s:        s,
+		base:     distance.NewBaseline(s.cfg.Dist, base),
+		groups:   s.clusters.Groups(1),
+		groupOf:  make(map[dataset.TupleID]int),
+		posting:  make(map[string]map[string][]int),
+		rawRep:   make(map[string]map[string]string),
+		yNumeric: s.table.Schema()[s.yCol].Kind == dataset.Float,
+	}
+	p.ranks = make([]int64, len(p.groups))
+	p.hasRow = make([]bool, len(p.groups))
+
+	rows := make([]vql.IncRow, 0, len(p.groups))
+	for gi, g := range p.groups {
+		p.ranks[gi] = int64(g[0])
+		for _, id := range g {
+			p.groupOf[id] = gi
+		}
+		vals, ok := s.viewRowFor(g, s.std, nil)
+		p.hasRow[gi] = ok
+		if ok {
+			rows = append(rows, vql.IncRow{Rank: p.ranks[gi], Vals: vals})
+		}
+	}
+	exec, err := s.query.NewIncremental(s.table.Schema(), rows)
+	if err != nil {
+		return nil
+	}
+	p.exec = exec
+
+	schema := s.table.Schema()
+	for _, c := range s.aColumns {
+		name := schema[c].Name
+		st := s.std[name]
+		if st == nil {
+			continue
+		}
+		reps := make(map[string]string)
+		lists := make(map[string][]int)
+		for gi, g := range p.groups {
+			for _, id := range g {
+				v, ok := s.table.GetByID(id, c)
+				if !ok {
+					continue
+				}
+				txt, ok := v.Text()
+				if !ok {
+					continue
+				}
+				rep, seen := reps[txt]
+				if !seen {
+					rep = st.Canonical(txt)
+					reps[txt] = rep
+				}
+				if l := lists[rep]; len(l) == 0 || l[len(l)-1] != gi {
+					lists[rep] = append(l, gi)
+				}
+			}
+		}
+		p.rawRep[name] = reps
+		p.posting[name] = lists
+	}
+
+	p.builder = em.NewClusterBuilder(s.table, s.mergeList, em.ClusterConfig{
+		Threshold: s.cfg.ClusterThreshold,
+		Confirmed: s.confirmed,
+		Split:     s.split,
+	})
+	return p
+}
+
+// price evaluates one (canonicalized) hypothesis incrementally. ok=false
+// requests the full-rebuild fallback.
+func (p *deltaPricer) price(h benefit.Hypothesis) (float64, bool) {
+	switch h.Kind {
+	case benefit.MImpute, benefit.ORepair:
+		// Guards mirror hypotheticalVis: an inapplicable repair prices as
+		// zero on the full path (nil hypothetical chart).
+		if _, ok := p.s.table.RowIndex(h.ID); !ok {
+			return 0, true
+		}
+		if !p.yNumeric {
+			return 0, true
+		}
+		gi, ok := p.groupOf[h.ID]
+		if !ok {
+			return 0, false
+		}
+		ov := &cellOverride{id: h.ID, col: p.s.yCol, val: dataset.Num(h.Value)}
+		return p.eval([]int{gi}, [][]dataset.TupleID{p.groups[gi]}, p.s.std, ov)
+
+	case benefit.AApprove:
+		if p.s.std[h.Column] == nil {
+			return 0, true // full path: nil hypothetical chart
+		}
+		changes := []stdChange{{name: h.Column, v1: h.V1, v2: h.V2}}
+		dirty, ok := p.postingDirty(changes)
+		if !ok {
+			return 0, false
+		}
+		removed, regrouped := p.sameGroups(dirty)
+		return p.eval(removed, regrouped, p.s.stdOverride(changes), nil)
+
+	case benefit.TConfirm, benefit.TSplit:
+		var cl *em.Clusters
+		var changes []stdChange
+		if h.Kind == benefit.TConfirm {
+			cl = p.builder.Build([]em.Pair{h.Pair}, nil)
+			changes = p.s.tPairChanges(h.Pair)
+		} else {
+			cl = p.builder.Build(nil, []em.Pair{h.Pair})
+		}
+		postDirty, ok := p.postingDirty(changes)
+		if !ok {
+			return 0, false
+		}
+		std := p.s.std
+		if override := p.s.stdOverride(changes); override != nil {
+			std = override
+		}
+
+		// Partition diff: base clusters no longer intact are dissolved and
+		// their tuples regrouped by their hypothetical root.
+		var removed []int
+		var dirtyTuples []dataset.TupleID
+		partDirty := make(map[int]struct{})
+		for gi, g := range p.groups {
+			if !cl.GroupIntact(g) {
+				removed = append(removed, gi)
+				partDirty[gi] = struct{}{}
+				dirtyTuples = append(dirtyTuples, g...)
+			}
+		}
+		byRoot := make(map[int][]dataset.TupleID)
+		var rootOrder []int
+		for _, id := range dirtyTuples {
+			root, ok := cl.Root(id)
+			if !ok {
+				return 0, false
+			}
+			if _, seen := byRoot[root]; !seen {
+				rootOrder = append(rootOrder, root)
+			}
+			byRoot[root] = append(byRoot[root], id)
+		}
+		regrouped := make([][]dataset.TupleID, 0, len(rootOrder)+len(postDirty))
+		for _, root := range rootOrder {
+			members := byRoot[root]
+			sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+			regrouped = append(regrouped, members)
+		}
+		// Posting-dirty clusters keep their membership but re-resolve
+		// under the standardizer override (unless already dissolved).
+		for gi := range postDirty {
+			if _, dissolved := partDirty[gi]; dissolved {
+				continue
+			}
+			removed = append(removed, gi)
+			regrouped = append(regrouped, p.groups[gi])
+		}
+		return p.eval(removed, regrouped, std, nil)
+
+	default:
+		return 0, false
+	}
+}
+
+// postingDirty unions the posting lists of every change's two value
+// classes. ok=false when a value is unknown to the base index.
+func (p *deltaPricer) postingDirty(changes []stdChange) (map[int]struct{}, bool) {
+	if len(changes) == 0 {
+		return nil, true
+	}
+	out := make(map[int]struct{})
+	for _, ch := range changes {
+		reps := p.rawRep[ch.name]
+		if reps == nil {
+			return nil, false
+		}
+		r1, ok1 := reps[ch.v1]
+		r2, ok2 := reps[ch.v2]
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		for _, gi := range p.posting[ch.name][r1] {
+			out[gi] = struct{}{}
+		}
+		for _, gi := range p.posting[ch.name][r2] {
+			out[gi] = struct{}{}
+		}
+	}
+	return out, true
+}
+
+// sameGroups expands a dirty-group set into matching removed/regrouped
+// lists (membership unchanged; rows will re-resolve under an override).
+func (p *deltaPricer) sameGroups(dirty map[int]struct{}) ([]int, [][]dataset.TupleID) {
+	removed := make([]int, 0, len(dirty))
+	for gi := range dirty {
+		removed = append(removed, gi)
+	}
+	sort.Ints(removed)
+	regrouped := make([][]dataset.TupleID, len(removed))
+	for i, gi := range removed {
+		regrouped[i] = p.groups[gi]
+	}
+	return removed, regrouped
+}
+
+// eval materializes the delta — removed base groups and regrouped member
+// lists — into the hypothetical chart and returns its distance from the
+// base.
+func (p *deltaPricer) eval(removed []int, regrouped [][]dataset.TupleID, std map[string]*goldenrec.Standardizer, ov *cellOverride) (float64, bool) {
+	ranks := make([]int64, 0, len(removed))
+	for _, gi := range removed {
+		if p.hasRow[gi] {
+			ranks = append(ranks, p.ranks[gi])
+		}
+	}
+	sort.Slice(regrouped, func(a, b int) bool { return regrouped[a][0] < regrouped[b][0] })
+	added := make([]vql.IncRow, 0, len(regrouped))
+	for _, g := range regrouped {
+		vals, ok := p.s.viewRowFor(g, std, ov)
+		if !ok {
+			continue
+		}
+		added = append(added, vql.IncRow{Rank: int64(g[0]), Vals: vals})
+	}
+	return p.base.Distance(p.exec.Eval(ranks, added)), true
+}

@@ -164,8 +164,12 @@ func (s *Session) detectQuestions() questionSet {
 		}
 	}
 
-	// Q_M: kNN imputation suggestions for missing measure cells.
-	im := impute.New(s.table, s.yCol, s.cfg.ImputeK)
+	// Q_M: kNN imputation suggestions for missing measure cells. The
+	// token index is shared with the outlier repairer below and cached
+	// for the session (tokens exclude the measure column, the only one
+	// cleaning rewrites).
+	ix := s.knnIdx()
+	im := impute.NewWithIndex(ix, s.cfg.ImputeK)
 	for _, sug := range im.SuggestAllMissing() {
 		if len(qs.M) >= s.cfg.MaxM {
 			break
@@ -177,7 +181,7 @@ func (s *Session) detectQuestions() questionSet {
 	}
 
 	// Q_O: top kNN outlier scores.
-	dets := outlier.Detect(s.table, s.yCol, s.cfg.ImputeK, s.cfg.MaxO*3)
+	dets := outlier.DetectWithIndex(s.table, s.yCol, s.cfg.ImputeK, s.cfg.MaxO*3, ix)
 	med := medianScore(dets)
 	for _, d := range dets {
 		if len(qs.O) >= s.cfg.MaxO {
@@ -545,6 +549,11 @@ func (s *Session) annotateERG(g *erg.Graph, base *vis.Data, workers int) int {
 		Base:         base,
 		Hypothetical: s.hypotheticalVis,
 		Workers:      workers,
+	}
+	if !s.cfg.NoIncremental {
+		if p := s.newDeltaPricer(base); p != nil {
+			est.Pricer = p.price
+		}
 	}
 	return est.Annotate(g)
 }

@@ -16,6 +16,7 @@ import (
 	"visclean/internal/em"
 	"visclean/internal/goldenrec"
 	"visclean/internal/impute"
+	"visclean/internal/knn"
 	"visclean/internal/rf"
 	"visclean/internal/transform"
 	"visclean/internal/vis"
@@ -118,6 +119,12 @@ type Config struct {
 	// NoHysteresis rebuilds the auto-merge set from the raw threshold
 	// each iteration instead of the Schmitt-trigger rule.
 	NoHysteresis bool
+	// NoIncremental disables incremental delta pricing: every hypothesis
+	// is priced through the full view-rebuild path. The two paths are
+	// bit-identical (enforced by the equivalence suite), so this switch
+	// only trades speed — it exists for benchmarking the delta engine's
+	// contribution and for bisecting any future equivalence regression.
+	NoIncremental bool
 
 	// TruthVis, when set, lets reports include the distance to the
 	// ground-truth visualization (the experiments' EMD(Q(D), Q(D_g))).
@@ -241,6 +248,12 @@ type Session struct {
 
 	clusters *em.Clusters
 	iter     int
+
+	// knnIndex is the lazily-built shared neighbour index over the
+	// working table (see internal/knn). Its token sets exclude yCol —
+	// the only column cleaning ever rewrites — so once built it stays
+	// valid for the whole session.
+	knnIndex *knn.Index
 
 	// committed is the answer log, one group per completed iteration;
 	// current accumulates the in-flight iteration's applied answers.
@@ -553,6 +566,15 @@ func (s *Session) buildClusters(extraConfirm, extraSplit []em.Pair) *em.Clusters
 		Confirmed: conf,
 		Split:     spl,
 	})
+}
+
+// knnIdx returns the session's shared kNN token index, building it on
+// first use.
+func (s *Session) knnIdx() *knn.Index {
+	if s.knnIndex == nil {
+		s.knnIndex = knn.NewIndex(s.table, s.yCol)
+	}
+	return s.knnIndex
 }
 
 // Table returns the session's working table (with user repairs applied).

@@ -22,10 +22,16 @@ func (s *Session) runSingleIteration(ctx context.Context, user User, qs question
 	}
 	perKind := m / 4
 
+	s.freezeShared()
 	est := &benefit.Estimator{
 		Dist:         s.cfg.Dist,
 		Base:         before,
 		Hypothetical: s.hypotheticalVis,
+	}
+	if !s.cfg.NoIncremental {
+		if p := s.newDeltaPricer(before); p != nil {
+			est.Pricer = p.price
+		}
 	}
 
 	type scoredQ struct {

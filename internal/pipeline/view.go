@@ -31,9 +31,21 @@ type cellOverride struct {
 // ground-truth Table II consolidates Elaps' 42 and 44 citations to 43),
 // string ties to the lexicographically smallest most-frequent value.
 func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardizer, ov *cellOverride) *dataset.Table {
-	schema := s.table.Schema()
-	view := dataset.NewTable(schema)
+	view := dataset.NewTable(s.table.Schema())
+	for _, group := range cl.Groups(1) {
+		if out, ok := s.viewRowFor(group, std, ov); ok {
+			view.MustAppend(out)
+		}
+	}
+	return view
+}
 
+// viewRowFor consolidates one entity cluster into its view row — the
+// per-group core of buildView, exposed separately so the incremental
+// hypothesis pricer can rebuild exactly the rows a hypothesis perturbs.
+// ok is false when the group yields no row (vanished tuple).
+func (s *Session) viewRowFor(group []dataset.TupleID, std map[string]*goldenrec.Standardizer, ov *cellOverride) ([]dataset.Value, bool) {
+	schema := s.table.Schema()
 	cell := func(id dataset.TupleID, c int, v dataset.Value) dataset.Value {
 		if ov != nil && ov.id == id && ov.col == c {
 			return ov.val
@@ -53,34 +65,30 @@ func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardi
 		return dataset.Str(st.Canonical(txt))
 	}
 
-	for _, group := range cl.Groups(1) {
-		if len(group) == 1 {
-			row, ok := s.table.RowByID(group[0])
+	if len(group) == 1 {
+		row, ok := s.table.RowByID(group[0])
+		if !ok {
+			return nil, false
+		}
+		out := make([]dataset.Value, len(row))
+		for c, v := range row {
+			out[c] = canonical(c, cell(group[0], c, v))
+		}
+		return out, true
+	}
+	out := make([]dataset.Value, len(schema))
+	for c := range schema {
+		var vals []dataset.Value
+		for _, id := range group {
+			v, ok := s.table.GetByID(id, c)
 			if !ok {
 				continue
 			}
-			out := make([]dataset.Value, len(row))
-			for c, v := range row {
-				out[c] = canonical(c, cell(group[0], c, v))
-			}
-			view.MustAppend(out)
-			continue
+			vals = append(vals, canonical(c, cell(id, c, v)))
 		}
-		out := make([]dataset.Value, len(schema))
-		for c := range schema {
-			var vals []dataset.Value
-			for _, id := range group {
-				v, ok := s.table.GetByID(id, c)
-				if !ok {
-					continue
-				}
-				vals = append(vals, canonical(c, cell(id, c, v)))
-			}
-			out[c] = resolve(vals, schema[c].Kind)
-		}
-		view.MustAppend(out)
+		out[c] = resolve(vals, schema[c].Kind)
 	}
-	return view
+	return out, true
 }
 
 // resolve elects the consolidated value of a column within one cluster.
@@ -210,11 +218,20 @@ func (s *Session) freezeShared() {
 	s.clusters.Freeze()
 }
 
-// tPairStandardizers returns a standardizer override where the pair's
-// values in every A-column are equated, or nil when nothing changes.
-func (s *Session) tPairStandardizers(p em.Pair) map[string]*goldenrec.Standardizer {
+// stdChange is one hypothetical value equation in one A-column. The
+// incremental pricer uses the (v1, v2) pair to find the rows the change
+// can touch through its value→rows posting lists.
+type stdChange struct {
+	name   string
+	v1, v2 string
+}
+
+// tPairChanges lists the A-column value equations that confirming the
+// pair implies (§VI label-edge semantics): one per A-column where the
+// two tuples carry differing text values.
+func (s *Session) tPairChanges(p em.Pair) []stdChange {
 	schema := s.table.Schema()
-	var override map[string]*goldenrec.Standardizer
+	var out []stdChange
 	for _, c := range s.aColumns {
 		va, okA := s.table.GetByID(p.A, c)
 		vb, okB := s.table.GetByID(p.B, c)
@@ -226,13 +243,28 @@ func (s *Session) tPairStandardizers(p em.Pair) map[string]*goldenrec.Standardiz
 		if !okA || !okB || ta == tb {
 			continue
 		}
-		name := schema[c].Name
+		out = append(out, stdChange{name: schema[c].Name, v1: ta, v2: tb})
+	}
+	return out
+}
+
+// tPairStandardizers returns a standardizer override where the pair's
+// values in every A-column are equated, or nil when nothing changes.
+func (s *Session) tPairStandardizers(p em.Pair) map[string]*goldenrec.Standardizer {
+	return s.stdOverride(s.tPairChanges(p))
+}
+
+// stdOverride clones the standardizer map and applies each change as a
+// hypothetical approval, or returns nil when changes is empty.
+func (s *Session) stdOverride(changes []stdChange) map[string]*goldenrec.Standardizer {
+	var override map[string]*goldenrec.Standardizer
+	for _, ch := range changes {
 		if override == nil {
 			override = cloneStdMap(s.std)
 		}
-		clone := override[name].Clone()
-		clone.Approve(ta, tb)
-		override[name] = clone
+		clone := override[ch.name].Clone()
+		clone.Approve(ch.v1, ch.v2)
+		override[ch.name] = clone
 	}
 	return override
 }

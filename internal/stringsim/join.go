@@ -31,8 +31,8 @@ func Join(a, b []string, threshold float64) []Pair {
 		// below 1: only identical token sets (sim == 1) qualify.
 		threshold = math.Nextafter(1, 0)
 	}
-	tokensA := tokenize(a)
-	tokensB := tokenize(b)
+	tokensA, setsA := tokenize(a)
+	tokensB, setsB := tokenize(b)
 
 	// Global token frequency across both sides defines the canonical
 	// token order for prefix filtering.
@@ -82,8 +82,9 @@ func Join(a, b []string, threshold float64) []Pair {
 				candidates[j] = struct{}{}
 			}
 		}
+		setA := setsA[i]
 		for j := range candidates {
-			sim := JaccardSets(setOf(ts), setOf(tokensB[j]))
+			sim := JaccardSets(setA, setsB[j])
 			if sim > threshold {
 				out = append(out, Pair{I: i, J: j, Sim: sim})
 			}
@@ -114,8 +115,14 @@ func SelfJoin(vals []string, threshold float64) []Pair {
 	return out
 }
 
-func tokenize(ss []string) [][]string {
+// tokenize returns each string's token list plus its token set. The set
+// is the one TokenSet already built — kept so the verification loop in
+// Join compares sets directly instead of rebuilding one per candidate
+// pair (the lists are reordered in place for prefix filtering; the sets
+// are order-free and unaffected).
+func tokenize(ss []string) ([][]string, []map[string]struct{}) {
 	out := make([][]string, len(ss))
+	sets := make([]map[string]struct{}, len(ss))
 	for i, s := range ss {
 		set := TokenSet(s)
 		ts := make([]string, 0, len(set))
@@ -123,8 +130,9 @@ func tokenize(ss []string) [][]string {
 			ts = append(ts, t)
 		}
 		out[i] = ts
+		sets[i] = set
 	}
-	return out
+	return out, sets
 }
 
 // prefix returns the prefix-filter tokens of a frequency-ordered token

@@ -1,0 +1,419 @@
+package vql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"visclean/internal/dataset"
+	"visclean/internal/vis"
+)
+
+// This file implements the incremental query executor backing delta
+// hypothesis pricing: the pipeline registers the base view's rows once,
+// and each hypothetical repair is then evaluated as a (removed rows,
+// added rows) delta instead of a full re-execution. The contract is
+// bit-identity: Eval must return exactly the chart Execute would produce
+// over the equivalent full row set — same points, same float bits, same
+// order. Everything below is therefore arranged so that every float
+// accumulation (per-group aggregation, first-appearance ordering,
+// sorting) happens through the same code in the same order as Execute.
+
+// IncRow is one logical row of the view the incremental executor runs
+// over. Rank is the row's stable order key: rows execute in ascending
+// Rank order, and a delta identifies removed rows by Rank. The pipeline
+// uses the owning entity cluster's smallest tuple id, which is unique
+// per cluster and reproduces the view's row order. Vals must not be
+// mutated after registration.
+type IncRow struct {
+	Rank int64
+	Vals []dataset.Value
+}
+
+// contrib is one row's pre-resolved effect on the chart.
+type contrib struct {
+	rank   int64
+	routed bool          // passes WHERE and carries a usable X
+	key    string        // group label (TransformGroup)
+	bin    int64         // bin id (TransformBin)
+	y      dataset.Value // value fed to the aggregate
+	point  vis.Point     // direct mark (TransformNone)
+	hasPt  bool
+}
+
+// contribRef is one aggregated contribution retained per group.
+type contribRef struct {
+	rank int64
+	y    dataset.Value
+}
+
+// keyState is the materialized state of one group or bin.
+type keyState struct {
+	contribs  []contribRef // ascending rank = execution order
+	firstRank int64        // rank of the first contributor (appearance order)
+	bin       int64
+	y         float64
+	ok        bool
+}
+
+func (k *keyState) fold(agg Agg) {
+	var st aggState
+	for _, c := range k.contribs {
+		st.add(c.y)
+	}
+	k.y, k.ok = st.result(agg)
+	if len(k.contribs) > 0 {
+		k.firstRank = k.contribs[0].rank
+	}
+}
+
+// Incremental evaluates one query over a registered base row set plus
+// per-call deltas. Construction costs one full pass; Eval costs
+// O(delta + groups). An Incremental is immutable after construction, so
+// concurrent Eval calls are safe.
+type Incremental struct {
+	q     *Query
+	xi    int
+	yi    int
+	wcols []int
+
+	rows    []contrib
+	rankPos map[int64]int
+
+	keys     map[string]*keyState // TransformGroup
+	bins     map[int64]*keyState  // TransformBin
+	keyOrder []*keyState          // appearance order (group) / bin order (bin)
+	labelOf  map[*keyState]string // group label per state
+}
+
+// NewIncremental validates the query against the schema and registers
+// the base rows, which must arrive in strictly ascending Rank order (the
+// order Execute would scan them in).
+func (q *Query) NewIncremental(schema dataset.Schema, rows []IncRow) (*Incremental, error) {
+	if err := q.Validate(schema); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{
+		q:       q,
+		xi:      schema.Index(q.X),
+		yi:      schema.Index(q.Y),
+		rankPos: make(map[int64]int, len(rows)),
+	}
+	inc.wcols = make([]int, len(q.Where))
+	for k, p := range q.Where {
+		inc.wcols[k] = schema.Index(p.Column)
+	}
+
+	inc.rows = make([]contrib, len(rows))
+	for i, r := range rows {
+		if i > 0 && rows[i-1].Rank >= r.Rank {
+			return nil, fmt.Errorf("vql: incremental rows must have strictly ascending ranks (%d after %d)", r.Rank, rows[i-1].Rank)
+		}
+		inc.rows[i] = inc.contribution(r)
+		inc.rankPos[r.Rank] = i
+	}
+
+	switch q.Transform {
+	case TransformGroup:
+		inc.keys = make(map[string]*keyState)
+		inc.labelOf = make(map[*keyState]string)
+		for _, c := range inc.rows {
+			if !c.routed {
+				continue
+			}
+			st, exists := inc.keys[c.key]
+			if !exists {
+				st = &keyState{}
+				inc.keys[c.key] = st
+				inc.labelOf[st] = c.key
+				inc.keyOrder = append(inc.keyOrder, st)
+			}
+			st.contribs = append(st.contribs, contribRef{rank: c.rank, y: c.y})
+		}
+		for _, st := range inc.keyOrder {
+			st.fold(q.Agg)
+		}
+	case TransformBin:
+		inc.bins = make(map[int64]*keyState)
+		for _, c := range inc.rows {
+			if !c.routed {
+				continue
+			}
+			st, exists := inc.bins[c.bin]
+			if !exists {
+				st = &keyState{bin: c.bin}
+				inc.bins[c.bin] = st
+				inc.keyOrder = append(inc.keyOrder, st)
+			}
+			st.contribs = append(st.contribs, contribRef{rank: c.rank, y: c.y})
+		}
+		sort.Slice(inc.keyOrder, func(a, b int) bool { return inc.keyOrder[a].bin < inc.keyOrder[b].bin })
+		for _, st := range inc.keyOrder {
+			st.fold(q.Agg)
+		}
+	}
+	return inc, nil
+}
+
+// contribution resolves one row against the query, mirroring Execute's
+// per-row logic (WHERE, key routing, null handling) exactly.
+func (inc *Incremental) contribution(r IncRow) contrib {
+	c := contrib{rank: r.Rank}
+	for k, p := range inc.q.Where {
+		if !matches(r.Vals[inc.wcols[k]], p) {
+			return c
+		}
+	}
+	xv := r.Vals[inc.xi]
+	switch inc.q.Transform {
+	case TransformNone:
+		yv := r.Vals[inc.yi]
+		if xv.IsNull() || yv.IsNull() {
+			return c
+		}
+		y, _ := yv.Float()
+		pt := vis.Point{Label: xv.String(), Y: y}
+		if f, ok := xv.Float(); ok {
+			pt.X, pt.HasX = f, true
+		}
+		c.point, c.hasPt = pt, true
+	case TransformGroup:
+		key, ok := xv.Text()
+		if !ok {
+			if xv.IsNull() {
+				return c
+			}
+			key = xv.String()
+		}
+		c.key, c.y, c.routed = key, r.Vals[inc.yi], true
+	case TransformBin:
+		x, ok := xv.Float()
+		if !ok {
+			return c
+		}
+		c.bin = int64(math.Floor(x / inc.q.BinInterval))
+		c.y, c.routed = r.Vals[inc.yi], true
+	}
+	return c
+}
+
+// Eval produces the chart for the base row set with the rows named in
+// removed (by rank) dropped and the added rows inserted at their rank
+// positions. added must be in ascending rank order; an added rank may
+// reuse a removed one (a merged cluster inherits the smaller first id).
+// The result is bit-identical to Execute over the equivalent view.
+func (inc *Incremental) Eval(removed []int64, added []IncRow) *vis.Data {
+	data := &vis.Data{Type: inc.q.Chart, XField: inc.q.X, YField: inc.q.Y}
+
+	switch inc.q.Transform {
+	case TransformNone:
+		data.Points = inc.evalNone(removed, added)
+	case TransformGroup, TransformBin:
+		data.Points = inc.evalKeyed(removed, added)
+	}
+
+	inc.q.sortPoints(data)
+	if inc.q.Limit > 0 && len(data.Points) > inc.q.Limit {
+		data.Points = data.Points[:inc.q.Limit]
+	}
+	return data
+}
+
+// Base returns the chart of the unmodified base row set.
+func (inc *Incremental) Base() *vis.Data { return inc.Eval(nil, nil) }
+
+func removedSet(removed []int64) map[int64]struct{} {
+	if len(removed) == 0 {
+		return nil
+	}
+	set := make(map[int64]struct{}, len(removed))
+	for _, r := range removed {
+		set[r] = struct{}{}
+	}
+	return set
+}
+
+// evalNone assembles the direct-mark point list: surviving base points
+// and added points merged in rank order.
+func (inc *Incremental) evalNone(removed []int64, added []IncRow) []vis.Point {
+	rm := removedSet(removed)
+	var pts []vis.Point
+	j := 0
+	emitAddedBefore := func(rank int64) {
+		for j < len(added) && added[j].Rank < rank {
+			if c := inc.contribution(added[j]); c.hasPt {
+				pts = append(pts, c.point)
+			}
+			j++
+		}
+	}
+	for i := range inc.rows {
+		c := &inc.rows[i]
+		emitAddedBefore(c.rank)
+		if _, gone := rm[c.rank]; gone {
+			continue
+		}
+		if c.hasPt {
+			pts = append(pts, c.point)
+		}
+	}
+	emitAddedBefore(math.MaxInt64)
+	return pts
+}
+
+// evalKeyed assembles the grouped/binned point list: clean groups reuse
+// their base aggregate, dirty groups re-fold their contributor list in
+// rank order (the same accumulation order Execute uses), and the output
+// order reproduces Execute's (first-appearance order for GROUP, bin
+// order for BIN).
+func (inc *Incremental) evalKeyed(removed []int64, added []IncRow) []vis.Point {
+	grouped := inc.q.Transform == TransformGroup
+
+	// Identify dirty states and collect added contributions per state.
+	rm := removedSet(removed)
+	dirty := make(map[*keyState][]contribRef)
+	markDirty := func(st *keyState) {
+		if _, seen := dirty[st]; !seen {
+			dirty[st] = nil
+		}
+	}
+	for r := range rm {
+		pos, ok := inc.rankPos[r]
+		if !ok {
+			continue
+		}
+		if c := &inc.rows[pos]; c.routed {
+			markDirty(inc.stateOf(c))
+		}
+	}
+	// newStates tracks groups born in this delta, in appearance order.
+	var newStates []*keyState
+	newByKey := make(map[string]*keyState)
+	newByBin := make(map[int64]*keyState)
+	newLabels := make(map[*keyState]string)
+	for _, row := range added {
+		c := inc.contribution(row)
+		if !c.routed {
+			continue
+		}
+		st := inc.stateOf(&c)
+		if st == nil {
+			if grouped {
+				st = newByKey[c.key]
+			} else {
+				st = newByBin[c.bin]
+			}
+			if st == nil {
+				st = &keyState{bin: c.bin}
+				if grouped {
+					newByKey[c.key] = st
+					newLabels[st] = c.key
+				} else {
+					newByBin[c.bin] = st
+				}
+				newStates = append(newStates, st)
+				markDirty(st)
+			}
+		} else {
+			markDirty(st)
+		}
+		dirty[st] = append(dirty[st], contribRef{rank: c.rank, y: c.y})
+	}
+
+	// Re-fold each dirty state over its surviving + added contributors,
+	// merged in ascending rank order.
+	folded := make(map[*keyState]*keyState, len(dirty))
+	for st, adds := range dirty {
+		nf := &keyState{bin: st.bin}
+		nf.contribs = mergeContribs(st.contribs, adds, rm)
+		nf.fold(inc.q.Agg)
+		folded[st] = nf
+	}
+
+	// Output order: clean states keep their base slot; dirty states
+	// reorder by their recomputed first contributor. Execute orders
+	// groups by first appearance (= min contributing rank) and bins by
+	// bin id, so a single merge of the two sorted sequences reproduces
+	// it.
+	order := func(st *keyState) int64 {
+		if grouped {
+			return st.firstRank
+		}
+		return st.bin
+	}
+	var live []*keyState
+	for _, st := range inc.keyOrder {
+		nf, isDirty := folded[st]
+		if !isDirty {
+			live = append(live, st)
+			continue
+		}
+		if len(nf.contribs) > 0 {
+			if lbl, ok := inc.labelOf[st]; ok {
+				if newLabels == nil {
+					newLabels = map[*keyState]string{}
+				}
+				newLabels[nf] = lbl
+			}
+			live = append(live, nf)
+		}
+	}
+	for _, st := range newStates {
+		nf := folded[st]
+		if len(nf.contribs) == 0 {
+			continue
+		}
+		if lbl, ok := newLabels[st]; ok {
+			newLabels[nf] = lbl
+		}
+		live = append(live, nf)
+	}
+	sort.SliceStable(live, func(a, b int) bool { return order(live[a]) < order(live[b]) })
+
+	var pts []vis.Point
+	for _, st := range live {
+		if !st.ok {
+			continue
+		}
+		if grouped {
+			lbl, ok := inc.labelOf[st]
+			if !ok {
+				lbl = newLabels[st]
+			}
+			pts = append(pts, vis.Point{Label: lbl, Y: st.y})
+		} else {
+			lo := float64(st.bin) * inc.q.BinInterval
+			pts = append(pts, vis.Point{Label: binLabel(lo, lo+inc.q.BinInterval), X: lo, HasX: true, Y: st.y})
+		}
+	}
+	return pts
+}
+
+// stateOf returns the base state a routed contribution belongs to, or
+// nil when the key has no base state.
+func (inc *Incremental) stateOf(c *contrib) *keyState {
+	if inc.q.Transform == TransformGroup {
+		return inc.keys[c.key]
+	}
+	return inc.bins[c.bin]
+}
+
+// mergeContribs merges the surviving base contributors with the added
+// ones in ascending rank order. base is sorted; adds is sorted (Eval's
+// input contract); rm removes by rank from base only.
+func mergeContribs(base, adds []contribRef, rm map[int64]struct{}) []contribRef {
+	out := make([]contribRef, 0, len(base)+len(adds))
+	j := 0
+	for _, c := range base {
+		for j < len(adds) && adds[j].rank < c.rank {
+			out = append(out, adds[j])
+			j++
+		}
+		if _, gone := rm[c.rank]; gone {
+			continue
+		}
+		out = append(out, c)
+	}
+	out = append(out, adds[j:]...)
+	return out
+}

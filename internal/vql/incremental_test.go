@@ -1,0 +1,167 @@
+package vql
+
+import (
+	"fmt"
+	"testing"
+
+	"visclean/internal/dataset"
+	"visclean/internal/vis"
+)
+
+// incSchema is the row shape the incremental-executor tests use.
+var incSchema = dataset.Schema{
+	{Name: "Venue", Kind: dataset.String},
+	{Name: "Year", Kind: dataset.Float},
+	{Name: "Citations", Kind: dataset.Float},
+}
+
+func incRow(rank int64, venue string, year, cites dataset.Value) IncRow {
+	return IncRow{Rank: rank, Vals: []dataset.Value{dataset.Str(venue), year, cites}}
+}
+
+// applyDelta materializes the delta the incremental executor evaluates
+// into a plain table, in ascending rank order — the reference Execute
+// runs over it.
+func applyDelta(t *testing.T, base []IncRow, removed []int64, added []IncRow) *dataset.Table {
+	t.Helper()
+	rm := map[int64]bool{}
+	for _, r := range removed {
+		rm[r] = true
+	}
+	var rows []IncRow
+	for _, r := range base {
+		if !rm[r.Rank] {
+			rows = append(rows, r)
+		}
+	}
+	rows = append(rows, added...)
+	for i := range rows {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].Rank < rows[i].Rank {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	tbl := dataset.NewTable(incSchema)
+	for _, r := range rows {
+		tbl.MustAppend(r.Vals)
+	}
+	return tbl
+}
+
+// assertSameData requires bit-exact equality — the incremental
+// executor's whole contract.
+func assertSameData(t *testing.T, label string, got, want *vis.Data) {
+	t.Helper()
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("%s: point counts differ: got %d want %d\ngot  %+v\nwant %+v",
+			label, len(got.Points), len(want.Points), got.Points, want.Points)
+	}
+	for i := range got.Points {
+		if got.Points[i] != want.Points[i] {
+			t.Fatalf("%s: point %d differs: got %+v want %+v", label, i, got.Points[i], want.Points[i])
+		}
+	}
+}
+
+// checkDelta runs one (removed, added) delta through Eval and through
+// Execute-over-the-equivalent-table and compares.
+func checkDelta(t *testing.T, q *Query, base []IncRow, removed []int64, added []IncRow) {
+	t.Helper()
+	inc, err := q.NewIncremental(incSchema, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := inc.Eval(removed, added)
+	want, err := q.Execute(applyDelta(t, base, removed, added))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameData(t, fmt.Sprintf("removed=%v added=%d", removed, len(added)), got, want)
+}
+
+func incBase() []IncRow {
+	num := dataset.Num
+	null := dataset.Null(dataset.Float)
+	return []IncRow{
+		incRow(0, "SIGMOD", num(2013), num(174)),
+		incRow(2, "ICDE", num(2013), num(15)),
+		incRow(5, "SIGMOD", num(2014), null),
+		incRow(6, "VLDB", num(2014), num(55)),
+		incRow(9, "ICDE", num(2015), num(42)),
+		incRow(12, "KDD", num(2015), num(7)),
+	}
+}
+
+var incQueries = []string{
+	`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`,
+	`VISUALIZE bar SELECT Venue, AVG(Citations) FROM D TRANSFORM GROUP BY Venue SORT X BY ASC`,
+	`VISUALIZE bar SELECT Venue, COUNT(Citations) FROM D TRANSFORM GROUP BY Venue`,
+	`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D TRANSFORM GROUP BY Venue WHERE Year >= 2014 SORT Y BY DESC`,
+	`VISUALIZE bar SELECT Year, SUM(Citations) FROM D TRANSFORM BIN Year BY INTERVAL 1`,
+	`VISUALIZE bar SELECT Year, Citations FROM D`,
+	`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 2`,
+}
+
+// TestIncrementalEvalMatchesExecute sweeps deltas — removals, additions,
+// new groups, emptied groups, rank reuse, null cells — across query
+// shapes and compares every chart bit for bit.
+func TestIncrementalEvalMatchesExecute(t *testing.T) {
+	num := dataset.Num
+	null := dataset.Null(dataset.Float)
+	deltas := []struct {
+		name    string
+		removed []int64
+		added   []IncRow
+	}{
+		{name: "noop"},
+		{name: "remove-one", removed: []int64{2}},
+		{name: "remove-all-of-group", removed: []int64{2, 9}},
+		{name: "remove-everything", removed: []int64{0, 2, 5, 6, 9, 12}},
+		{name: "add-new-group", added: []IncRow{incRow(3, "CIDR", num(2013), num(9))}},
+		{name: "add-to-existing-group", added: []IncRow{incRow(13, "VLDB", num(2016), num(3))}},
+		{name: "add-before-first", added: []IncRow{incRow(-1, "AAAI", num(2012), num(1))}},
+		{name: "replace-same-rank", removed: []int64{5}, added: []IncRow{incRow(5, "SIGMOD", num(2014), num(100))}},
+		{name: "merge-two-rows", removed: []int64{0, 5}, added: []IncRow{incRow(0, "SIGMOD", num(2013), num(274))}},
+		{name: "null-added", added: []IncRow{incRow(7, "VLDB", num(2014), null)}},
+		{name: "group-rename", removed: []int64{6}, added: []IncRow{incRow(6, "Very Large Data Bases", num(2014), num(55))}},
+		{name: "reorder-first-appearance", removed: []int64{0}, added: []IncRow{incRow(10, "SIGMOD", num(2013), num(174))}},
+	}
+	for _, src := range incQueries {
+		q := MustParse(src)
+		for _, d := range deltas {
+			t.Run(fmt.Sprintf("%s/%s", q.Chart, d.name), func(t *testing.T) {
+				checkDelta(t, q, incBase(), d.removed, d.added)
+			})
+		}
+	}
+}
+
+// TestIncrementalBaseMatchesExecute checks the zero-delta chart equals a
+// straight execution of the base rows.
+func TestIncrementalBaseMatchesExecute(t *testing.T) {
+	for _, src := range incQueries {
+		q := MustParse(src)
+		inc, err := q.NewIncremental(incSchema, incBase())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := q.Execute(applyDelta(t, incBase(), nil, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameData(t, src, inc.Base(), want)
+	}
+}
+
+// TestIncrementalRejectsUnsortedRanks guards the registration contract.
+func TestIncrementalRejectsUnsortedRanks(t *testing.T) {
+	q := MustParse(incQueries[0])
+	rows := []IncRow{
+		incRow(5, "A", dataset.Num(2013), dataset.Num(1)),
+		incRow(5, "B", dataset.Num(2013), dataset.Num(2)),
+	}
+	if _, err := q.NewIncremental(incSchema, rows); err == nil {
+		t.Fatal("duplicate ranks accepted")
+	}
+}

@@ -1,18 +1,23 @@
 #!/bin/sh
 # bench.sh — run the performance-tracking benchmarks and record their
-# metrics as JSON (BENCH_pr2.json) so future changes can be compared
+# metrics as JSON (BENCH_pr3.json) so future changes can be compared
 # against a committed baseline. BenchmarkAnnotate isolates the benefit
-# engine hot path at Workers=1 vs Workers=8 (bit-identical results,
-# different wall-clock on multi-core hosts); Fig10 is the end-to-end
-# progression smoke.
+# engine hot path: the incremental delta pricer at Workers=1 vs
+# Workers=8, plus a FullRebuild variant (Config.NoIncremental) that
+# prices every hypothesis by re-executing the query from scratch — the
+# FullRebuild/Workers1 ratio is what incremental pricing buys.
+# BenchmarkIterationPhases records the per-phase breakdown
+# (detect/buildERG/annotate/select) of one full iteration; Fig10 is the
+# end-to-end progression smoke. All variants are cross-checked
+# bit-identical inside the benchmarks themselves.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr3.json}"
 
-raw=$(go test -run xxx -bench 'BenchmarkAnnotate|BenchmarkFig10' -benchtime=1x -count=1 . 2>&1)
+raw=$(go test -run xxx -bench 'BenchmarkAnnotate|BenchmarkIterationPhases|BenchmarkFig10' -benchtime=1x -count=1 . 2>&1)
 echo "$raw"
 
 echo "$raw" | awk -v out="$out" '

@@ -1,9 +1,12 @@
 #!/bin/sh
 # check.sh — the repo's verification gate: build, vet, the full test
-# suite with the race detector on, the determinism suite (same seed and
-# Workers=1 vs Workers=8 must be byte-identical — this is what the
-# parallel benefit engine promises), and a one-shot benchmark smoke so
-# the bench harness cannot rot. CI and pre-commit both run this.
+# suite with the race detector on, the determinism + incremental-pricing
+# equivalence suites (same seed, Workers=1 vs Workers=8, and delta
+# pricing vs full rebuild must all be byte-identical), and a one-shot
+# benchmark smoke so the bench harness cannot rot. The smoke also guards
+# the incremental pricer's reason to exist: if BenchmarkAnnotate's
+# Workers=1 ns/op regresses to more than 2x the committed BENCH_pr3.json
+# baseline, the check fails. CI and pre-commit both run this.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,10 +20,22 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== determinism suite (-race)"
-go test -race -count=1 -run 'TestDeterminism' ./internal/pipeline/
+echo "== determinism + incremental equivalence suites (-race)"
+go test -race -count=1 -run 'TestDeterminism|TestIncremental' ./internal/pipeline/
 
-echo "== benchmark smoke (Fig 10, 1 iteration)"
-go test -run xxx -bench 'BenchmarkFig10' -benchtime=1x .
+echo "== benchmark smoke (Fig 10 + Annotate, 1 iteration)"
+smoke=$(go test -run xxx -bench 'BenchmarkFig10|BenchmarkAnnotate/Workers1$' -benchtime=1x .)
+echo "$smoke"
+
+if [ -f BENCH_pr3.json ]; then
+    baseline=$(awk -F'ns_per_op": ' '/"BenchmarkAnnotate\/Workers1"/ {split($2, a, /[,}]/); print a[1]}' BENCH_pr3.json)
+    current=$(echo "$smoke" | awk '$1 ~ /^BenchmarkAnnotate\/Workers1/ {print $3}')
+    if [ -n "$baseline" ] && [ -n "$current" ]; then
+        echo "== annotate regression guard: current ${current} ns/op vs baseline ${baseline} ns/op"
+        awk -v c="$current" -v b="$baseline" 'BEGIN {
+            if (c > 2 * b) { printf "FAIL: Annotate ns/op regressed more than 2x (%s > 2 * %s)\n", c, b; exit 1 }
+        }'
+    fi
+fi
 
 echo "== OK"
