@@ -27,6 +27,7 @@ import (
 	"os"
 
 	"visclean/internal/experiments"
+	"visclean/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	repeats := flag.Int("repeats", 3, "repeats for Table VI averages")
 	edges17a := flag.Int("fig17-edges", 20000, "ERG edges for Fig 17(a)")
 	workers := flag.Int("workers", 0, "benefit/training fan-out per session (0 = GOMAXPROCS, 1 = sequential; results identical at any value)")
+	metricsOut := flag.String("metrics-out", "", "enable observability and write accumulated metrics as JSON to this file on exit")
 	flag.Parse()
 
 	what := flag.Arg(0)
@@ -42,12 +44,35 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *metricsOut != "" {
+		obs.SetEnabled(true)
+	}
 	env := experiments.NewEnv(*scale, *seed)
 	env.Workers = *workers
-	if err := dispatch(env, what, *repeats, *edges17a); err != nil {
+	err := dispatch(env, what, *repeats, *edges17a)
+	if *metricsOut != "" {
+		if werr := writeMetrics(*metricsOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics dumps the obs registry as flat JSON, the input for
+// EXPERIMENTS.md's per-phase cost table.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Representative tasks per dataset, used where the paper plots one panel

@@ -32,6 +32,7 @@ import (
 	"visclean/internal/datagen"
 	"visclean/internal/dataset"
 	"visclean/internal/erg"
+	"visclean/internal/obs"
 	"visclean/internal/oracle"
 	"visclean/internal/pipeline"
 	"visclean/internal/render"
@@ -51,13 +52,37 @@ func main() {
 	interactive := flag.Bool("interactive", false, "ask questions on the terminal instead of simulating")
 	statePath := flag.String("state", "", "snapshot file: the session checkpoints here after every iteration")
 	resume := flag.Bool("resume", false, "restore the session from -state before continuing")
+	metricsOut := flag.String("metrics-out", "", "enable observability and write accumulated metrics as JSON to this file on exit")
 	flag.Parse()
 
-	if err := run(*csvPath, *dsName, *queryStr, *scale, *budget, *k, *selector, *seed, *interactive,
-		*statePath, *resume); err != nil {
+	if *metricsOut != "" {
+		obs.SetEnabled(true)
+	}
+	err := run(*csvPath, *dsName, *queryStr, *scale, *budget, *k, *selector, *seed, *interactive,
+		*statePath, *resume)
+	if *metricsOut != "" {
+		if werr := writeMetrics(*metricsOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "visclean:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics dumps the obs registry as flat JSON for offline
+// inspection of a run's per-phase costs and memo/pricer hit rates.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 var defaultQueries = map[string]string{

@@ -22,6 +22,11 @@
 //	POST   /api/session/{id}/iterate → 202              run one iteration (503 on overload)
 //	POST   /api/session/{id}/answer  → 204              answer the pending question
 //	DELETE /api/session/{id}         → 204              close and forget
+//	GET    /metrics                  → text             Prometheus exposition (catalog: DESIGN.md §5)
+//	GET    /debug/traces             → JSON             recent per-iteration phase spans
+//
+// With -pprof, net/http/pprof is additionally mounted under
+// /debug/pprof/ on the same listener.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"visclean/internal/obs"
 	"visclean/internal/service"
 )
 
@@ -50,17 +56,23 @@ func main() {
 	workers := flag.Int("workers", 4, "max concurrently computing iterations")
 	idleTTL := flag.Duration("idle-ttl", 15*time.Minute, "idle time before a session is evicted to disk")
 	snapshots := flag.String("snapshots", "", "directory for session snapshots (empty: no persistence)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes goroutine and heap dumps)")
 	flag.Parse()
 
 	if err := run(*dsName, *queryStr, *scale, *k, *seed, *addr, *auto,
-		*maxSessions, *workers, *idleTTL, *snapshots); err != nil {
+		*maxSessions, *workers, *idleTTL, *snapshots, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "viscleanweb:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dsName, queryStr string, scale float64, k int, seed int64, addr string, auto bool,
-	maxSessions, workers int, idleTTL time.Duration, snapshots string) error {
+	maxSessions, workers int, idleTTL time.Duration, snapshots string, pprofOn bool) error {
+	// The server always runs with observability on: metric updates are a
+	// few atomic ops per iteration — noise next to an iteration's cost —
+	// and /metrics and /debug/traces are only useful populated.
+	obs.SetEnabled(true)
+	obs.DefaultTracer.SetEnabled(true)
 	if snapshots != "" {
 		if err := os.MkdirAll(snapshots, 0o755); err != nil {
 			return err
@@ -82,6 +94,7 @@ func run(dsName, queryStr string, scale float64, k int, seed int64, addr string,
 			Dataset: dsName, Scale: scale, Seed: seed,
 			Query: queryStr, K: k, Auto: auto,
 		},
+		pprof: pprofOn,
 	}
 	httpSrv := &http.Server{Addr: addr, Handler: newMux(srv)}
 

@@ -1,0 +1,35 @@
+package main
+
+// Operational endpoints (DESIGN.md §5, README "Operating viscleanweb"):
+// /metrics exposes the obs registry in Prometheus text format,
+// /debug/traces returns the tracer's recent iteration spans as JSON, and
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ on the
+// same listener. pprof is opt-in because it exposes goroutine dumps and
+// heap contents — not something to leave open by default.
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"visclean/internal/obs"
+)
+
+func (s *webServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+}
+
+func (s *webServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.DefaultTracer.Recent(64))
+}
+
+// mountPprof registers the standard pprof handlers on the mux. The
+// profile endpoints that hang off Index (heap, goroutine, block, mutex,
+// allocs, threadcreate) are served by the catch-all registration.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"visclean/internal/obs"
+	"visclean/internal/service"
+)
+
+// enableObs turns observability on for one test and restores the
+// disabled default afterwards so the rest of the package runs on the
+// zero-cost path.
+func enableObs(t *testing.T) {
+	t.Helper()
+	obs.SetEnabled(true)
+	obs.DefaultTracer.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.DefaultTracer.SetEnabled(false)
+	})
+}
+
+func runAutoIteration(t *testing.T, mux *http.ServeMux, id string) {
+	t.Helper()
+	rec := doReq(t, mux, http.MethodPost, "/api/session/"+id+"/iterate", "")
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("iterate status %d", rec.Code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := getState(t, mux, id); !s.Running {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("iteration never finished")
+}
+
+// TestMetricsEndpoint runs an iteration with observability on and checks
+// that /metrics exposes the documented families — per-phase timings,
+// benefit memo/pricer counters, pool shape, service lifecycle — and that
+// every exposed family is documented in DESIGN.md §5 (the catalog is a
+// contract, not prose).
+func TestMetricsEndpoint(t *testing.T) {
+	enableObs(t)
+	mux, _ := testShell(t, true)
+	id := createSession(t, mux)
+	runAutoIteration(t, mux, id)
+
+	rec := doReq(t, mux, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body := rec.Body.String()
+
+	for _, name := range []string{
+		"visclean_pipeline_iterations_total",
+		"visclean_iteration_phase_seconds",
+		`phase="annotate"`,
+		`phase="select"`,
+		"visclean_benefit_evals_total",
+		"visclean_benefit_memo_hits_total",
+		"visclean_par_fanouts_total",
+		"visclean_service_sessions_live",
+		"visclean_service_sessions_created_total",
+		"visclean_service_iteration_seconds",
+		"visclean_service_busy_total",
+		"visclean_service_overload_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %q", name)
+		}
+	}
+
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Fatalf("malformed TYPE line %q", line)
+		}
+		if name := fields[2]; !strings.Contains(string(design), name) {
+			t.Errorf("metric %s exposed but not documented in DESIGN.md", name)
+		}
+	}
+}
+
+// TestTracesEndpoint checks /debug/traces returns the finished
+// iteration's span, labelled with the session id and carrying per-phase
+// durations.
+func TestTracesEndpoint(t *testing.T) {
+	enableObs(t)
+	mux, _ := testShell(t, true)
+	id := createSession(t, mux)
+	runAutoIteration(t, mux, id)
+
+	rec := doReq(t, mux, http.MethodGet, "/debug/traces", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", rec.Code)
+	}
+	var traces []obs.Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &traces); err != nil {
+		t.Fatalf("decode traces: %v", err)
+	}
+	for _, tr := range traces {
+		if tr.Name == "iteration" && tr.Label == id {
+			if len(tr.Phases) == 0 {
+				t.Fatal("iteration trace has no phases")
+			}
+			return
+		}
+	}
+	t.Fatalf("no iteration trace labelled %q among %d traces", id, len(traces))
+}
+
+// TestPprofGatedByFlag checks the profiling endpoints exist only when
+// the operator opted in with -pprof.
+func TestPprofGatedByFlag(t *testing.T) {
+	reg := service.NewRegistry(service.Config{MaxSessions: 1, Workers: 1, Logf: t.Logf})
+	t.Cleanup(reg.Shutdown)
+
+	off := newMux(&webServer{reg: reg})
+	if rec := doReq(t, off, http.MethodGet, "/debug/pprof/", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof off: status %d, want 404", rec.Code)
+	}
+	on := newMux(&webServer{reg: reg, pprof: true})
+	if rec := doReq(t, on, http.MethodGet, "/debug/pprof/", ""); rec.Code != http.StatusOK {
+		t.Fatalf("pprof on: status %d, want 200", rec.Code)
+	}
+}

@@ -19,6 +19,8 @@ type webServer struct {
 	// defaults seed new sessions from the command-line flags; request
 	// bodies override field by field.
 	defaults service.Spec
+	// pprof mounts net/http/pprof under /debug/pprof/ when set.
+	pprof bool
 }
 
 func newMux(s *webServer) *http.ServeMux {
@@ -30,6 +32,11 @@ func newMux(s *webServer) *http.ServeMux {
 	mux.HandleFunc("POST /api/session/{id}/iterate", s.handleIterate)
 	mux.HandleFunc("POST /api/session/{id}/answer", s.handleAnswer)
 	mux.HandleFunc("DELETE /api/session/{id}", s.handleClose)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if s.pprof {
+		mountPprof(mux)
+	}
 	return mux
 }
 

@@ -41,6 +41,7 @@ const (
 	ORepair
 )
 
+// String names the hypothesis kind for logs and debug output.
 func (k HypKind) String() string {
 	switch k {
 	case TConfirm:
@@ -103,6 +104,44 @@ type Estimator struct {
 	mu    sync.Mutex
 	memo  map[Hypothesis]*memoEntry
 	evals atomic.Int64 // unique Hypothetical invocations (cache misses)
+	calls atomic.Int64 // total dist() requests (hits = calls − evals)
+	// pricerOK / pricerMiss count Pricer outcomes: accepted incremental
+	// prices vs. declines that fell back to the full rebuild. Both stay
+	// zero when Pricer is nil.
+	pricerOK   atomic.Int64
+	pricerMiss atomic.Int64
+}
+
+// Stats is an estimator's work accounting: how many prices were
+// requested, how many unique hypotheses were actually evaluated (the
+// rest were memo hits), and how the incremental pricer fared on the
+// evaluated ones. All four are deterministic for a given session state —
+// they do not depend on the worker count.
+type Stats struct {
+	// Calls counts dist() requests across all edges and repairs.
+	Calls int
+	// Evals counts unique hypotheses evaluated (memo cache misses).
+	Evals int
+	// MemoHits is Calls − Evals: prices served from the memo.
+	MemoHits int
+	// PricerAccepts counts hypotheses the incremental Pricer priced.
+	PricerAccepts int
+	// PricerFallbacks counts hypotheses the Pricer declined (posting or
+	// lookup miss), priced by the full view-rebuild path instead.
+	PricerFallbacks int
+}
+
+// Stats reports the estimator's accumulated work accounting.
+func (e *Estimator) Stats() Stats {
+	calls := int(e.calls.Load())
+	evals := int(e.evals.Load())
+	return Stats{
+		Calls:           calls,
+		Evals:           evals,
+		MemoHits:        calls - evals,
+		PricerAccepts:   int(e.pricerOK.Load()),
+		PricerFallbacks: int(e.pricerMiss.Load()),
+	}
 }
 
 // memoEntry is one memoized price. The sync.Once guarantees a single
@@ -134,6 +173,7 @@ func canonicalize(h Hypothesis) Hypothesis {
 // Prices are memoized; see Estimator.
 func (e *Estimator) dist(h Hypothesis) float64 {
 	h = canonicalize(h)
+	e.calls.Add(1)
 	e.mu.Lock()
 	if e.memo == nil {
 		e.memo = make(map[Hypothesis]*memoEntry)
@@ -154,8 +194,10 @@ func (e *Estimator) dist(h Hypothesis) float64 {
 func (e *Estimator) rawDist(h Hypothesis) float64 {
 	if e.Pricer != nil {
 		if v, ok := e.Pricer(h); ok {
+			e.pricerOK.Add(1)
 			return v
 		}
+		e.pricerMiss.Add(1)
 	}
 	after := e.Hypothetical(h)
 	if after == nil {

@@ -6,6 +6,10 @@
 // iteration. One Index is built per table (the pipeline caches it for
 // the session: token sets exclude the measure column, which is the only
 // column cleaning ever rewrites, so the index never goes stale).
+//
+// This is reproduction infrastructure — the paper's kNN-based imputation
+// and repair (§III) do not specify an index; this one exists so the
+// reproduction's detection phase scales.
 package knn
 
 import (

@@ -1,0 +1,394 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one fixed key="value" pair attached to a metric series at
+// registration time. Labels are static — there is no dynamic
+// label-value lookup on the hot path; a site that needs per-phase
+// series registers one series per phase up front.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be ≥ 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric (accumulated
+// seconds, mostly). The value is stored as float64 bits and updated by
+// compare-and-swap.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v (v must be ≥ 0).
+func (c *FloatCounter) Add(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution metric. Buckets are
+// cumulative upper bounds (Prometheus "le" semantics) with an implicit
+// +Inf bucket; Observe is lock-free.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    FloatCounter
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// TimeBuckets is the standard latency bucket layout (seconds): half a
+// millisecond to ~100 s, roughly ×2.5 per step — wide enough to cover
+// both a sub-millisecond CQG selection and a multi-second annotate on a
+// full-scale dataset.
+var TimeBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 25, 60, 120}
+
+// SizeBuckets is the standard byte-size bucket layout: 256 B to 16 MiB,
+// ×4 per step (session snapshots, HTTP bodies).
+var SizeBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
+
+// metricKind discriminates exposition TYPE lines.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindFloatCounter
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	if k == kindGauge {
+		return "gauge"
+	}
+	if k == kindHistogram {
+		return "histogram"
+	}
+	return "counter"
+}
+
+// series is one registered metric instance: a name, a rendered label
+// set, and exactly one of the four value types.
+type series struct {
+	name   string
+	labels []Label
+	kind   metricKind
+
+	counter  *Counter
+	fcounter *FloatCounter
+	gauge    *Gauge
+	hist     *Histogram
+}
+
+// Registry holds registered metrics and renders them. Registration is
+// idempotent: asking for a name+labels combination that already exists
+// returns the existing instance (so package-level vars in several files
+// can share a series), but re-registering it as a different kind
+// panics — that is a programming error worth failing loudly on.
+type Registry struct {
+	mu     sync.Mutex
+	byKey  map[string]*series
+	help   map[string]string
+	sorted []*series // registration order; exposition re-sorts by key
+}
+
+// NewRegistry builds an empty registry. Most code uses Default.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey: make(map[string]*series),
+		help:  make(map[string]string),
+	}
+}
+
+// Default is the process-wide registry every instrumented package
+// registers into and cmd/viscleanweb exposes at /metrics.
+var Default = NewRegistry()
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register finds or creates a series; the build callback runs under the
+// registry lock only on first sight.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, build func(*series)) *series {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", key, kind, s.kind))
+		}
+		return s
+	}
+	s := &series{name: name, labels: append([]Label(nil), labels...), kind: kind}
+	build(s)
+	r.byKey[key] = s
+	r.sorted = append(r.sorted, s)
+	if help != "" {
+		r.help[name] = help
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels, func(s *series) { s.counter = &Counter{} })
+	return s.counter
+}
+
+// FloatCounter registers (or finds) a float counter series.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	s := r.register(name, help, kindFloatCounter, labels, func(s *series) { s.fcounter = &FloatCounter{} })
+	return s.fcounter
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels, func(s *series) { s.gauge = &Gauge{} })
+	return s.gauge
+}
+
+// Histogram registers (or finds) a histogram series with the given
+// cumulative upper bounds (the +Inf bucket is implicit). All series of
+// one histogram name must share one bucket layout.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHistogram, labels, func(s *series) {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		s.hist = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	})
+	return s.hist
+}
+
+// snapshotSeries returns the registered series sorted by name then
+// label key, so exposition order is stable regardless of registration
+// order (package init order is a build detail, not an interface).
+func (r *Registry) snapshotSeries() []*series {
+	r.mu.Lock()
+	out := append([]*series(nil), r.sorted...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return seriesKey(out[i].name, out[i].labels) < seriesKey(out[j].name, out[j].labels)
+	})
+	return out
+}
+
+func labelString(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4): HELP/TYPE headers per metric
+// name, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	lastName := ""
+	for _, s := range r.snapshotSeries() {
+		if s.name != lastName {
+			if help := r.helpFor(s.name); help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.name, help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind)
+			lastName = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", s.name, labelString(s.labels, ""), s.counter.Value())
+		case kindFloatCounter:
+			fmt.Fprintf(w, "%s%s %s\n", s.name, labelString(s.labels, ""), formatFloat(s.fcounter.Value()))
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %d\n", s.name, labelString(s.labels, ""), s.gauge.Value())
+		case kindHistogram:
+			h := s.hist
+			counts := h.BucketCounts()
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += counts[i]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, labelString(s.labels, fmt.Sprintf("le=%q", formatFloat(bound))), cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, labelString(s.labels, `le="+Inf"`), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", s.name, labelString(s.labels, ""), formatFloat(h.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", s.name, labelString(s.labels, ""), h.Count())
+		}
+	}
+}
+
+func (r *Registry) helpFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
+}
+
+// WriteJSON renders a flat JSON snapshot of every series — the
+// -metrics-out format of cmd/visclean and cmd/experiments. Counters and
+// gauges map to numbers; histograms to {count, sum, avg}. Keys are the
+// full series identity (name plus rendered labels), sorted.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type hjson struct {
+		Count int64   `json:"count"`
+		Sum   float64 `json:"sum"`
+		Avg   float64 `json:"avg"`
+	}
+	// Hand-rendered to keep ordering stable without an intermediate
+	// ordered-map dependency.
+	var b strings.Builder
+	b.WriteString("{\n")
+	sers := r.snapshotSeries()
+	for i, s := range sers {
+		key := seriesKey(s.name, s.labels)
+		fmt.Fprintf(&b, "  %q: ", key)
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%d", s.counter.Value())
+		case kindFloatCounter:
+			fmt.Fprintf(&b, "%s", formatFloat(s.fcounter.Value()))
+		case kindGauge:
+			fmt.Fprintf(&b, "%d", s.gauge.Value())
+		case kindHistogram:
+			h := hjson{Count: s.hist.Count(), Sum: s.hist.Sum()}
+			if h.Count > 0 {
+				h.Avg = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(&b, `{"count": %d, "sum": %s, "avg": %s}`, h.Count, formatFloat(h.Sum), formatFloat(h.Avg))
+		}
+		if i+1 < len(sers) {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withEnabled runs f with instrumentation forced on, restoring the
+// previous state after.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	f()
+}
+
+func TestDisabledMetricsAreInert(t *testing.T) {
+	SetEnabled(false)
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", TimeBuckets)
+	f := r.FloatCounter("f_total", "")
+	c.Inc()
+	g.Set(7)
+	h.Observe(0.5)
+	f.Add(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || f.Value() != 0 {
+		t.Fatalf("disabled metrics moved: c=%d g=%d h=%d f=%g", c.Value(), g.Value(), h.Count(), f.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		h := r.Histogram("lat_seconds", "", []float64{0.01, 0.1, 1})
+		// One sample per regime: below the first bound, exactly on a
+		// bound (le semantics: counts in that bucket), between bounds,
+		// and beyond every bound (+Inf).
+		for _, v := range []float64{0.001, 0.01, 0.5, 30} {
+			h.Observe(v)
+		}
+		got := h.BucketCounts()
+		want := []int64{2, 0, 1, 1} // ≤0.01: 0.001 and 0.01; ≤0.1: none; ≤1: 0.5; +Inf: 30
+		if len(got) != len(want) {
+			t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("bucket %d = %d, want %d (all %v)", i, got[i], want[i], got)
+			}
+		}
+		if h.Count() != 4 {
+			t.Fatalf("count = %d, want 4", h.Count())
+		}
+		if want := 0.001 + 0.01 + 0.5 + 30; h.Sum() != want {
+			t.Fatalf("sum = %g, want %g", h.Sum(), want)
+		}
+	})
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		c := r.Counter("hits_total", "")
+		f := r.FloatCounter("busy_seconds_total", "")
+		h := r.Histogram("obs_seconds", "", []float64{1, 2, 3})
+		g := r.Gauge("active", "")
+		const workers, per = 8, 1000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g.Inc()
+				for i := 0; i < per; i++ {
+					c.Inc()
+					f.Add(0.5)
+					h.Observe(float64(i % 4))
+				}
+				g.Dec()
+			}()
+		}
+		wg.Wait()
+		if c.Value() != workers*per {
+			t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+		}
+		if want := float64(workers*per) * 0.5; f.Value() != want {
+			t.Fatalf("float counter = %g, want %g", f.Value(), want)
+		}
+		if h.Count() != workers*per {
+			t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+		}
+		if g.Value() != 0 {
+			t.Fatalf("gauge = %d, want 0", g.Value())
+		}
+	})
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		a := r.Counter("dup_total", "", Label{"phase", "x"})
+		b := r.Counter("dup_total", "", Label{"phase", "x"})
+		if a != b {
+			t.Fatal("same name+labels returned distinct counters")
+		}
+		other := r.Counter("dup_total", "", Label{"phase", "y"})
+		if a == other {
+			t.Fatal("distinct labels returned the same counter")
+		}
+		defer func() {
+			if recover() == nil {
+				t.Fatal("re-registering a counter as a gauge did not panic")
+			}
+		}()
+		r.Gauge("dup_total", "", Label{"phase", "x"})
+	})
+}
+
+// TestPrometheusExpositionGolden locks the exposition format: a
+// Prometheus scraper parses this exact shape, so changes here are
+// breaking changes for operators.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		c := r.Counter("visclean_requests_total", "HTTP requests served.", Label{"route", "state"})
+		g := r.Gauge("visclean_sessions_live", "Live sessions.")
+		h := r.Histogram("visclean_iter_seconds", "Iteration latency.", []float64{0.1, 1})
+		f := r.FloatCounter("visclean_busy_seconds_total", "Worker busy time.")
+		c.Add(3)
+		g.Set(2)
+		h.Observe(0.05)
+		h.Observe(0.5)
+		h.Observe(9)
+		f.Add(1.25)
+
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		want := `# HELP visclean_busy_seconds_total Worker busy time.
+# TYPE visclean_busy_seconds_total counter
+visclean_busy_seconds_total 1.25
+# HELP visclean_iter_seconds Iteration latency.
+# TYPE visclean_iter_seconds histogram
+visclean_iter_seconds_bucket{le="0.1"} 1
+visclean_iter_seconds_bucket{le="1"} 2
+visclean_iter_seconds_bucket{le="+Inf"} 3
+visclean_iter_seconds_sum 9.55
+visclean_iter_seconds_count 3
+# HELP visclean_requests_total HTTP requests served.
+# TYPE visclean_requests_total counter
+visclean_requests_total{route="state"} 3
+# HELP visclean_sessions_live Live sessions.
+# TYPE visclean_sessions_live gauge
+visclean_sessions_live 2
+`
+		if got := b.String(); got != want {
+			t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		}
+	})
+}
+
+func TestWriteJSON(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("a_total", "").Add(2)
+		h := r.Histogram("b_seconds", "", []float64{1})
+		h.Observe(0.5)
+		h.Observe(1.5)
+		var b strings.Builder
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		want := "{\n  \"a_total\": 2,\n  \"b_seconds\": {\"count\": 2, \"sum\": 2, \"avg\": 1}\n}\n"
+		if b.String() != want {
+			t.Fatalf("json mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+		}
+	})
+}

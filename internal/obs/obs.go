@@ -1,0 +1,51 @@
+// Package obs is VisClean's dependency-free observability layer:
+// process-wide metrics (counters, gauges, histograms with atomic hot
+// paths and Prometheus text exposition) and a lightweight span tracer
+// (per-iteration phase breakdowns kept in a ring buffer). It is
+// reproduction infrastructure, not part of the paper's contribution —
+// but it is what makes the paper's quantities visible in a running
+// server: the per-refinement latencies progressive systems treat as
+// user-visible (Fig 18's machine-time categories) and the benefit
+// model's work counters (hypothetical-visualization evaluations, memo
+// hits, incremental-pricer accepts vs. fallbacks).
+//
+// Design constraints, in order:
+//
+//  1. No effect on computation. Instrumentation only ever observes —
+//     nothing in the cleaning pipeline reads a metric or a trace, so
+//     the determinism guarantees of DESIGN.md §4 hold with obs enabled
+//     or disabled.
+//  2. Cheap when disabled. The package-level enabled flag is a single
+//     atomic load; every metric method and the tracer's Record early
+//     return without allocating when it is off, so library users who
+//     never call SetEnabled(true) pay one predictable branch per
+//     instrumentation site.
+//  3. Cheap when enabled. Counter/gauge updates are single atomic adds;
+//     histogram observation is a branchless bucket scan plus two atomic
+//     adds; no locks on any hot path. Locks exist only at registration
+//     (process start) and exposition (scrape time).
+//
+// The process-wide Default registry and DefaultTracer are what the
+// instrumented packages (pipeline, par, service) write to and what
+// cmd/viscleanweb exposes at /metrics and /debug/traces. Tests that
+// need isolation build private instances with NewRegistry/NewTracer.
+package obs
+
+import "sync/atomic"
+
+// enabled gates every instrumentation site in the process. Off by
+// default: plain library use (tests, examples, one-shot CLI runs that
+// did not ask for metrics) pays one atomic load per site and nothing
+// else.
+var enabled atomic.Bool
+
+// SetEnabled switches instrumentation on or off process-wide.
+// cmd/viscleanweb enables it at startup; cmd/visclean and
+// cmd/experiments enable it when -metrics-out is set.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether instrumentation is on. Call sites with
+// non-trivial setup cost (building a label string, reading a clock)
+// should check it before doing that work; the metric methods also check
+// it themselves, so a bare Inc() needs no guard.
+func Enabled() bool { return enabled.Load() }

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic clock for span-timing tests.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestSpanTimingWithFakeClock(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr := NewTracer(4, clk.now)
+	tr.SetEnabled(true)
+
+	sp := tr.Start("iteration", "sess-1")
+	clk.advance(10 * time.Millisecond)
+	sp.Phase("detect")
+	clk.advance(25 * time.Millisecond)
+	sp.Phase("annotate")
+	clk.advance(5 * time.Millisecond)
+	sp.End()
+
+	got := tr.Recent(0)
+	if len(got) != 1 {
+		t.Fatalf("recent = %d traces, want 1", len(got))
+	}
+	trace := got[0]
+	if trace.Name != "iteration" || trace.Label != "sess-1" || trace.Seq != 1 {
+		t.Fatalf("trace identity wrong: %+v", trace)
+	}
+	if trace.StartUnix != time.Unix(1000, 0).UnixNano() {
+		t.Fatalf("start = %d", trace.StartUnix)
+	}
+	if want := (40 * time.Millisecond).Nanoseconds(); trace.DurationNS != want {
+		t.Fatalf("duration = %d, want %d", trace.DurationNS, want)
+	}
+	wantPhases := []Phase{
+		{Name: "detect", DurationNS: (10 * time.Millisecond).Nanoseconds()},
+		{Name: "annotate", DurationNS: (25 * time.Millisecond).Nanoseconds()},
+	}
+	if len(trace.Phases) != len(wantPhases) {
+		t.Fatalf("phases = %v", trace.Phases)
+	}
+	for i, p := range wantPhases {
+		if trace.Phases[i] != p {
+			t.Fatalf("phase %d = %+v, want %+v", i, trace.Phases[i], p)
+		}
+	}
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := NewTracer(4, nil)
+	if sp := tr.Start("x", ""); sp != nil {
+		t.Fatal("disabled tracer handed out a span")
+	}
+	// nil-span methods must be safe no-ops.
+	var sp *Span
+	sp.Phase("p")
+	sp.End()
+	tr.Record("x", "", time.Unix(0, 0), time.Second, nil)
+	if got := tr.Recent(0); len(got) != 0 {
+		t.Fatalf("disabled tracer buffered %d traces", len(got))
+	}
+}
+
+func TestRingEvictionAndOrder(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	tr := NewTracer(3, clk.now)
+	tr.SetEnabled(true)
+	for i := 0; i < 5; i++ {
+		tr.Record("t", string(rune('a'+i)), clk.t, time.Duration(i), nil)
+		clk.advance(time.Second)
+	}
+	got := tr.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(got))
+	}
+	// Newest first: seq 5, 4, 3.
+	for i, wantSeq := range []uint64{5, 4, 3} {
+		if got[i].Seq != wantSeq {
+			t.Fatalf("recent[%d].Seq = %d, want %d", i, got[i].Seq, wantSeq)
+		}
+	}
+	if limited := tr.Recent(2); len(limited) != 2 || limited[0].Seq != 5 {
+		t.Fatalf("Recent(2) = %+v", limited)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := NewTracer(8, nil)
+	tr.SetEnabled(true)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start("w", "")
+				sp.Phase("p")
+				sp.End()
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	got := tr.Recent(0)
+	if len(got) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, trc := range got {
+		if seen[trc.Seq] {
+			t.Fatalf("duplicate seq %d", trc.Seq)
+		}
+		seen[trc.Seq] = true
+	}
+}

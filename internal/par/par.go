@@ -7,12 +7,35 @@
 // ordering then never depends on the scheduler, and Workers=1 and
 // Workers=N produce the same bytes. See DESIGN.md "Concurrency and
 // determinism".
+//
+// This is reproduction infrastructure: the paper does not discuss
+// parallelism, and every result is identical at any worker count.
 package par
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"visclean/internal/obs"
+)
+
+// Pool-shape metrics (DESIGN.md §5): how often the fan-out primitive
+// runs, how much work it distributes, how many workers are live right
+// now, and the accumulated busy time — utilization is busy seconds
+// divided by wall seconds times GOMAXPROCS. All updates happen at
+// fan-out granularity (per call / per worker goroutine), never per
+// item, so the instrumentation cannot show up in the annotate hot path.
+var (
+	obsFanouts = obs.Default.Counter("visclean_par_fanouts_total",
+		"ForEachIndex fan-outs executed (including degenerate sequential runs).")
+	obsItems = obs.Default.Counter("visclean_par_items_total",
+		"Work items distributed across all fan-outs.")
+	obsActive = obs.Default.Gauge("visclean_par_active_workers",
+		"Worker goroutines currently executing fan-out items.")
+	obsBusy = obs.Default.FloatCounter("visclean_par_worker_busy_seconds_total",
+		"Accumulated worker busy time across all fan-outs.")
 )
 
 // Workers resolves a configured worker count: values < 1 select
@@ -39,9 +62,23 @@ func ForEachIndex(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	track := obs.Enabled()
+	if track {
+		obsFanouts.Inc()
+		obsItems.Add(int64(n))
+	}
 	if workers == 1 {
+		var start time.Time
+		if track {
+			obsActive.Inc()
+			start = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
+		}
+		if track {
+			obsBusy.Add(time.Since(start).Seconds())
+			obsActive.Dec()
 		}
 		return
 	}
@@ -51,12 +88,21 @@ func ForEachIndex(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var start time.Time
+			if track {
+				obsActive.Inc()
+				start = time.Now()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
 				}
 				fn(i)
+			}
+			if track {
+				obsBusy.Add(time.Since(start).Seconds())
+				obsActive.Dec()
 			}
 		}()
 	}

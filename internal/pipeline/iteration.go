@@ -53,13 +53,16 @@ func (s *Session) RunIterationCtx(ctx context.Context, user User) (Report, error
 	if err := ctx.Err(); err != nil {
 		return rep, err
 	}
+	iterStart := time.Now()
 
+	start := time.Now()
 	before, err := s.CurrentVis()
+	rep.Timings.View += time.Since(start)
 	if err != nil {
 		return rep, err
 	}
 
-	start := time.Now()
+	start = time.Now()
 	qs := s.detectQuestions()
 	rep.Timings.Detect = time.Since(start)
 
@@ -73,6 +76,7 @@ func (s *Session) RunIterationCtx(ctx context.Context, user User) (Report, error
 		}
 	}
 	if rep.Exhausted {
+		s.observeIteration(&rep, iterStart)
 		return rep, nil
 	}
 
@@ -82,17 +86,22 @@ func (s *Session) RunIterationCtx(ctx context.Context, user User) (Report, error
 	rep.Timings.Train = time.Since(start)
 
 	// Framework step 7: refresh the visualization and measure movement.
+	start = time.Now()
 	after, err := s.CurrentVis()
+	rep.Timings.View += time.Since(start)
 	if err != nil {
 		return rep, err
 	}
+	start = time.Now()
 	rep.DistMoved = s.cfg.Dist(before, after)
 	if s.cfg.TruthVis != nil {
 		rep.DistToTruth = s.cfg.Dist(after, s.cfg.TruthVis)
 	}
+	rep.Timings.Distance = time.Since(start)
 	s.iter++
 	rep.Iteration = s.iter
 	s.commitCurrent()
+	s.observeIteration(&rep, iterStart)
 	return rep, nil
 }
 
@@ -541,8 +550,9 @@ func (s *Session) edgeShowsValues(e *erg.Edge, c int, v1, v2 string) bool {
 // (framework step 4a): the session's standardizers are frozen so
 // concurrent hypothetical-visualization builds never write shared state,
 // then the per-edge/per-repair pricing fans out across workers. Returns
-// the number of unique hypothetical visualizations derived.
-func (s *Session) annotateERG(g *erg.Graph, base *vis.Data, workers int) int {
+// the estimator's work accounting (unique evaluations, memo hits,
+// incremental accepts vs. fallbacks).
+func (s *Session) annotateERG(g *erg.Graph, base *vis.Data, workers int) benefit.Stats {
 	s.freezeShared()
 	est := &benefit.Estimator{
 		Dist:         s.cfg.Dist,
@@ -555,7 +565,8 @@ func (s *Session) annotateERG(g *erg.Graph, base *vis.Data, workers int) int {
 			est.Pricer = p.price
 		}
 	}
-	return est.Annotate(g)
+	est.Annotate(g)
+	return est.Stats()
 }
 
 // BuildAnnotatedERG runs detection, ERG construction and benefit
@@ -572,8 +583,8 @@ func (s *Session) BuildAnnotatedERG(workers int) (*erg.Graph, int, error) {
 	}
 	qs := s.detectQuestions()
 	g := s.buildERG(qs)
-	evals := s.annotateERG(g, before, workers)
-	return g, evals, nil
+	st := s.annotateERG(g, before, workers)
+	return g, st.Evals, nil
 }
 
 // runCompositeIteration performs steps 3–5 with a CQG.
@@ -590,7 +601,7 @@ func (s *Session) runCompositeIteration(ctx context.Context, user User, qs quest
 	// Step 4a: benefit model — parallel across cfg.Workers, bit-identical
 	// at every worker count (see DESIGN.md "Concurrency and determinism").
 	start = time.Now()
-	rep.BenefitEvals = s.annotateERG(g, before, s.cfg.Workers)
+	rep.noteBenefit(s.annotateERG(g, before, s.cfg.Workers))
 	rep.Timings.Benefit = time.Since(start)
 
 	// Step 4b: CQG selection.

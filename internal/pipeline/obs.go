@@ -1,0 +1,112 @@
+package pipeline
+
+// Observability wiring (see DESIGN.md §5 for the full catalog). The
+// pipeline computes its timings and counters regardless — they are part
+// of Report — and this file only mirrors them into the process-wide
+// obs registry and tracer after each iteration. Nothing here feeds back
+// into the computation, so determinism is untouched whether obs is
+// enabled or not, and with obs disabled observeIteration costs a
+// handful of gated atomic loads.
+
+import (
+	"time"
+
+	"visclean/internal/benefit"
+	"visclean/internal/obs"
+)
+
+var (
+	obsIterations = obs.Default.Counter("visclean_pipeline_iterations_total",
+		"Completed cleaning iterations (all sessions).")
+	obsExhausted = obs.Default.Counter("visclean_pipeline_exhausted_total",
+		"Iterations that found the ERG exhausted (nothing left to ask).")
+	obsQuestions = obs.Default.Counter("visclean_pipeline_questions_total",
+		"Cleaning questions put to users, by kind.", obs.Label{Key: "kind", Value: "T"})
+	obsQuestionsA = obs.Default.Counter("visclean_pipeline_questions_total",
+		"", obs.Label{Key: "kind", Value: "A"})
+	obsQuestionsM = obs.Default.Counter("visclean_pipeline_questions_total",
+		"", obs.Label{Key: "kind", Value: "M"})
+	obsQuestionsO = obs.Default.Counter("visclean_pipeline_questions_total",
+		"", obs.Label{Key: "kind", Value: "O"})
+	obsUnanswered = obs.Default.Counter("visclean_pipeline_unanswered_total",
+		"Questions users skipped or that timed out unanswered.")
+
+	obsBenefitEvals = obs.Default.Counter("visclean_benefit_evals_total",
+		"Unique hypothetical visualizations derived by the benefit model (memo misses).")
+	obsMemoHits = obs.Default.Counter("visclean_benefit_memo_hits_total",
+		"Benefit prices served from the per-iteration memo instead of re-derived.")
+	obsDeltaAccepts = obs.Default.Counter("visclean_benefit_delta_accepts_total",
+		"Hypotheses priced by the incremental delta pricer.")
+	obsDeltaFallbacks = obs.Default.Counter("visclean_benefit_delta_fallbacks_total",
+		"Hypotheses the delta pricer declined, priced by full view rebuild.")
+
+	obsPhaseSeconds = map[string]*obs.Histogram{
+		"detect":    phaseHist("detect"),
+		"build_erg": phaseHist("build_erg"),
+		"annotate":  phaseHist("annotate"),
+		"select":    phaseHist("select"),
+		"apply":     phaseHist("apply"),
+		"train":     phaseHist("train"),
+		"view":      phaseHist("view"),
+		"distance":  phaseHist("distance"),
+	}
+)
+
+func phaseHist(phase string) *obs.Histogram {
+	help := ""
+	if phase == "detect" { // HELP is per metric name; attach it once
+		help = "Per-iteration wall time by framework phase (Fig 18 categories)."
+	}
+	return obs.Default.Histogram("visclean_iteration_phase_seconds", help,
+		obs.TimeBuckets, obs.Label{Key: "phase", Value: phase})
+}
+
+// noteBenefit copies an estimator's work accounting into the report.
+func (r *Report) noteBenefit(st benefit.Stats) {
+	r.BenefitEvals = st.Evals
+	r.MemoHits = st.MemoHits
+	r.DeltaAccepts = st.PricerAccepts
+	r.DeltaFallbacks = st.PricerFallbacks
+}
+
+// observeIteration publishes one finished iteration's report to the
+// obs registry and records its phase breakdown as a trace span.
+func (s *Session) observeIteration(rep *Report, start time.Time) {
+	if obs.Enabled() {
+		obsIterations.Inc()
+		if rep.Exhausted {
+			obsExhausted.Inc()
+		}
+		obsQuestions.Add(int64(rep.TQuestions))
+		obsQuestionsA.Add(int64(rep.AQuestions))
+		obsQuestionsM.Add(int64(rep.MQuestions))
+		obsQuestionsO.Add(int64(rep.OQuestions))
+		obsUnanswered.Add(int64(rep.Unanswered))
+		obsBenefitEvals.Add(int64(rep.BenefitEvals))
+		obsMemoHits.Add(int64(rep.MemoHits))
+		obsDeltaAccepts.Add(int64(rep.DeltaAccepts))
+		obsDeltaFallbacks.Add(int64(rep.DeltaFallbacks))
+		tm := rep.Timings
+		obsPhaseSeconds["detect"].Observe(tm.Detect.Seconds())
+		obsPhaseSeconds["build_erg"].Observe(tm.BuildERG.Seconds())
+		obsPhaseSeconds["annotate"].Observe(tm.Benefit.Seconds())
+		obsPhaseSeconds["select"].Observe(tm.Select.Seconds())
+		obsPhaseSeconds["apply"].Observe(tm.Apply.Seconds())
+		obsPhaseSeconds["train"].Observe(tm.Train.Seconds())
+		obsPhaseSeconds["view"].Observe(tm.View.Seconds())
+		obsPhaseSeconds["distance"].Observe(tm.Distance.Seconds())
+	}
+	if obs.DefaultTracer.Enabled() {
+		tm := rep.Timings
+		obs.DefaultTracer.Record("iteration", s.traceLabel, start, time.Since(start), []obs.Phase{
+			{Name: "detect", DurationNS: tm.Detect.Nanoseconds()},
+			{Name: "build_erg", DurationNS: tm.BuildERG.Nanoseconds()},
+			{Name: "annotate", DurationNS: tm.Benefit.Nanoseconds()},
+			{Name: "select", DurationNS: tm.Select.Nanoseconds()},
+			{Name: "apply", DurationNS: tm.Apply.Nanoseconds()},
+			{Name: "train", DurationNS: tm.Train.Nanoseconds()},
+			{Name: "view", DurationNS: tm.View.Nanoseconds()},
+			{Name: "distance", DurationNS: tm.Distance.Nanoseconds()},
+		})
+	}
+}

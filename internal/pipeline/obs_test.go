@@ -1,0 +1,21 @@
+package pipeline
+
+// The whole pipeline test suite — including the determinism and
+// incremental-pricing trace-equality tests — runs with observability ON.
+// That is the acceptance test for the obs layer's core invariant:
+// instrumentation observes computation but never feeds back into it, so
+// enabling metrics and tracing cannot change a single byte of any
+// session's outcome.
+
+import (
+	"os"
+	"testing"
+
+	"visclean/internal/obs"
+)
+
+func TestMain(m *testing.M) {
+	obs.SetEnabled(true)
+	obs.DefaultTracer.SetEnabled(true)
+	os.Exit(m.Run())
+}

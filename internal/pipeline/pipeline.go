@@ -47,6 +47,7 @@ const (
 	SelectSingle
 )
 
+// String names the selector the way flags and reports spell it.
 func (s SelectorKind) String() string {
 	switch s {
 	case SelectGSS:
@@ -248,6 +249,11 @@ type Session struct {
 
 	clusters *em.Clusters
 	iter     int
+
+	// traceLabel tags this session's iteration traces in the shared
+	// obs tracer (the service layer sets it to the public session id).
+	// Purely observational — it never influences the computation.
+	traceLabel string
 
 	// knnIndex is the lazily-built shared neighbour index over the
 	// working table (see internal/knn). Its token sets exclude yCol —
@@ -586,20 +592,29 @@ func (s *Session) Query() *vql.Query { return s.query }
 // Iteration returns the number of completed iterations.
 func (s *Session) Iteration() int { return s.iter }
 
+// SetTraceLabel tags the session's iteration traces (visible at
+// viscleanweb's /debug/traces). The label is observational only.
+func (s *Session) SetTraceLabel(label string) { s.traceLabel = label }
+
 // Timings breaks down one iteration's machine time per framework
-// component (Fig 18's categories).
+// component (Fig 18's categories, plus the view/distance bookends the
+// paper buckets under "refresh"). Each field also feeds the
+// visclean_iteration_phase_seconds metric and the per-iteration trace
+// span of the same phase name (see internal/obs and DESIGN.md §5).
 type Timings struct {
 	Detect   time.Duration // error detection: Q_T/Q_A/Q_M/Q_O generation
 	BuildERG time.Duration // ERG construction
-	Benefit  time.Duration // estimation-based benefit model
+	Benefit  time.Duration // estimation-based benefit model (annotate)
 	Select   time.Duration // CQG selection
 	Apply    time.Duration // repairing data from answers
 	Train    time.Duration // model retraining + cluster refresh
+	View     time.Duration // cleaned-view build + query execution (before/after charts)
+	Distance time.Duration // visualization distance computations (moved / to-truth)
 }
 
 // Total sums all components.
 func (t Timings) Total() time.Duration {
-	return t.Detect + t.BuildERG + t.Benefit + t.Select + t.Apply + t.Train
+	return t.Detect + t.BuildERG + t.Benefit + t.Select + t.Apply + t.Train + t.View + t.Distance
 }
 
 // Report describes one iteration's outcome.
@@ -617,6 +632,16 @@ type Report struct {
 	// BenefitEvals counts the unique hypothetical visualizations the
 	// benefit model derived this iteration (memo cache misses).
 	BenefitEvals int
+	// MemoHits counts benefit prices served from the estimator's memo
+	// instead of being re-derived (total requests − BenefitEvals).
+	MemoHits int
+	// DeltaAccepts / DeltaFallbacks split BenefitEvals by pricing path:
+	// hypotheses the incremental delta pricer accepted vs. ones it
+	// declined (posting/lookup miss), which fell back to the full
+	// view-rebuild. Both are zero when the pricer is off
+	// (Config.NoIncremental) or unavailable for the query.
+	DeltaAccepts   int
+	DeltaFallbacks int
 	// Questions asked, split by kind, and how many went unanswered
 	// (incomplete user input).
 	TQuestions, AQuestions, MQuestions, OQuestions int

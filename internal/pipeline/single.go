@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"sort"
+	"time"
 
 	"visclean/internal/benefit"
 	"visclean/internal/em"
@@ -39,6 +40,7 @@ func (s *Session) runSingleIteration(ctx context.Context, user User, qs question
 		idx     int
 		benefit float64
 	}
+	benefitStart := time.Now()
 	var pool []scoredQ
 	for i, sp := range qs.T {
 		pool = append(pool, scoredQ{kind: 0, idx: i, benefit: est.TBenefit(sp.Pair, sp.Prob)})
@@ -52,6 +54,8 @@ func (s *Session) runSingleIteration(ctx context.Context, user User, qs question
 	for i, o := range qs.O {
 		pool = append(pool, scoredQ{kind: 3, idx: i, benefit: est.OBenefit(o.ID, o.Repair)})
 	}
+	rep.Timings.Benefit = time.Since(benefitStart)
+	rep.noteBenefit(est.Stats())
 	if len(pool) == 0 {
 		rep.Exhausted = true
 		return nil

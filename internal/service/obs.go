@@ -1,0 +1,41 @@
+package service
+
+// Observability wiring for the multi-tenant session layer (catalog in
+// DESIGN.md §5): lifecycle counters, backpressure rejections, the
+// worker-pool queue, and snapshot persistence costs. Everything here is
+// observational; with obs disabled each site costs one gated atomic
+// load.
+
+import "visclean/internal/obs"
+
+var (
+	obsSessionsLive = obs.Default.Gauge("visclean_service_sessions_live",
+		"Sessions currently resident in memory.")
+	obsSessionsCreated = obs.Default.Counter("visclean_service_sessions_created_total",
+		"Sessions created.")
+	obsSessionsRestored = obs.Default.Counter("visclean_service_sessions_restored_total",
+		"Sessions restored from snapshots (lazily or at startup).")
+	obsSessionsEvicted = obs.Default.Counter("visclean_service_sessions_evicted_total",
+		"Idle sessions evicted to disk by the TTL sweeper.")
+	obsSessionsClosed = obs.Default.Counter("visclean_service_sessions_closed_total",
+		"Sessions explicitly closed by clients.")
+
+	obsBusyRejections = obs.Default.Counter("visclean_service_busy_total",
+		"Creates/restores rejected at the max-sessions cap (ErrBusy).")
+	obsOverloadRejections = obs.Default.Counter("visclean_service_overload_total",
+		"Iterations rejected because the worker-pool queue was full (ErrOverloaded).")
+	obsAnswerTimeouts = obs.Default.Counter("visclean_service_answer_timeouts_total",
+		"Parked questions that timed out waiting for a client answer.")
+
+	obsQueueDepth = obs.Default.Gauge("visclean_service_queue_depth",
+		"Iterations queued for a pool worker right now.")
+	obsWorkersBusy = obs.Default.Gauge("visclean_service_workers_busy",
+		"Pool workers currently executing an iteration.")
+	obsIterationSeconds = obs.Default.Histogram("visclean_service_iteration_seconds",
+		"Wall time of scheduled iterations, including parked question waits.", obs.TimeBuckets)
+
+	obsSnapshotSeconds = obs.Default.Histogram("visclean_service_snapshot_seconds",
+		"Session snapshot persistence latency.", obs.TimeBuckets)
+	obsSnapshotBytes = obs.Default.Histogram("visclean_service_snapshot_bytes",
+		"Session snapshot sizes on disk.", obs.SizeBuckets)
+)

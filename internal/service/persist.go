@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"visclean/internal/obs"
 	"visclean/internal/pipeline"
 )
 
@@ -96,8 +97,17 @@ func (r *Registry) persistSession(s *Session) {
 		return
 	}
 	snap := Snapshot{ID: s.id, Spec: s.spec, History: s.ps.History()}
-	if err := WriteSnapshotFile(r.snapshotPath(s.id), snap); err != nil {
+	path := r.snapshotPath(s.id)
+	start := time.Now()
+	if err := WriteSnapshotFile(path, snap); err != nil {
 		r.cfg.Logf("service: persist session %s: %v", s.id, err)
+		return
+	}
+	if obs.Enabled() {
+		obsSnapshotSeconds.Observe(time.Since(start).Seconds())
+		if fi, err := os.Stat(path); err == nil {
+			obsSnapshotBytes.Observe(float64(fi.Size()))
+		}
 	}
 }
 

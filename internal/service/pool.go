@@ -1,6 +1,10 @@
 package service
 
-import "sync"
+import (
+	"sync"
+
+	"visclean/internal/obs"
+)
 
 // pool is the bounded iteration worker pool: Workers goroutines drain a
 // QueueDepth-buffered job channel. Submission never blocks — a full
@@ -22,7 +26,10 @@ func newPool(workers, depth int) *pool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
+				obsQueueDepth.Set(int64(len(p.jobs)))
+				obsWorkersBusy.Inc()
 				job()
+				obsWorkersBusy.Dec()
 			}
 		}()
 	}
@@ -39,6 +46,9 @@ func (p *pool) trySubmit(job func()) bool {
 	}
 	select {
 	case p.jobs <- job:
+		if obs.Enabled() {
+			obsQueueDepth.Set(int64(len(p.jobs)))
+		}
 		return true
 	default:
 		return false

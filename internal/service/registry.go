@@ -80,6 +80,7 @@ func (r *Registry) reserveSlot() error {
 		return ErrClosed
 	}
 	if len(r.sessions)+r.building >= r.cfg.MaxSessions {
+		obsBusyRejections.Inc()
 		return ErrBusy
 	}
 	r.building++
@@ -95,6 +96,7 @@ func (r *Registry) releaseSlot() {
 // wrap turns a built pipeline session into a managed one and primes its
 // cached view state.
 func (r *Registry) wrap(id string, spec Spec, ps *pipeline.Session, auto pipeline.User) *Session {
+	ps.SetTraceLabel(id)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Session{
 		id:         id,
@@ -134,7 +136,9 @@ func (r *Registry) Create(spec Spec) (string, error) {
 		return "", ErrClosed
 	}
 	r.sessions[id] = s
+	obsSessionsLive.Set(int64(len(r.sessions)))
 	r.mu.Unlock()
+	obsSessionsCreated.Inc()
 
 	// Persist immediately so even a never-iterated session survives a
 	// restart.
@@ -205,7 +209,9 @@ func (r *Registry) restore(id string) (*Session, error) {
 		return existing, nil
 	}
 	r.sessions[id] = s
+	obsSessionsLive.Set(int64(len(r.sessions)))
 	r.mu.Unlock()
+	obsSessionsRestored.Inc()
 	r.cfg.Logf("service: session %s restored from snapshot (%d iterations, %d answers replayed)",
 		id, len(snap.History.Iterations), snap.History.NumAnswers())
 	return s, nil
@@ -283,6 +289,7 @@ func (r *Registry) Iterate(id string) error {
 		if done != nil {
 			close(done) // a teardown may already be waiting on it
 		}
+		obsOverloadRejections.Inc()
 		return ErrOverloaded
 	}
 	return nil
@@ -318,10 +325,12 @@ func (r *Registry) Close(id string) error {
 	if ok {
 		r.teardown(s, false)
 		r.deleteSnapshot(id)
+		obsSessionsClosed.Inc()
 		r.cfg.Logf("service: session %s closed", id)
 		return nil
 	}
 	if validSessionID(id) && r.deleteSnapshot(id) {
+		obsSessionsClosed.Inc()
 		r.cfg.Logf("service: session %s closed (snapshot only)", id)
 		return nil
 	}
@@ -373,6 +382,7 @@ func (r *Registry) teardownAll(victims []*Session, persist bool) {
 		}
 		r.mu.Lock()
 		delete(r.sessions, s.id)
+		obsSessionsLive.Set(int64(len(r.sessions)))
 		r.mu.Unlock()
 	}
 }
@@ -446,6 +456,7 @@ func (r *Registry) Sweep() int {
 	for _, s := range victims {
 		r.cfg.Logf("service: evicting idle session %s", s.id)
 		r.teardown(s, true)
+		obsSessionsEvicted.Inc()
 	}
 	return len(victims)
 }

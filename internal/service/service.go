@@ -18,6 +18,10 @@
 // replays the log against a freshly built session and resumes exactly
 // where the old one stopped — pipeline replay is deterministic (see
 // pipeline.Session.Replay).
+//
+// This layer is reproduction infrastructure: the paper's prototype
+// (§VI) is single-user, and nothing here alters the cleaning semantics
+// — it only multiplexes, persists and meters them.
 package service
 
 import (

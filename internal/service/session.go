@@ -9,6 +9,7 @@ import (
 
 	"visclean/internal/dataset"
 	"visclean/internal/erg"
+	"visclean/internal/obs"
 	"visclean/internal/pipeline"
 	"visclean/internal/vis"
 )
@@ -158,7 +159,11 @@ func (s *Session) runIteration() {
 	if s.autoUser != nil {
 		user = s.autoUser
 	}
+	iterStart := time.Now()
 	rep, err := s.ps.RunIterationCtx(s.ctx, user)
+	if obs.Enabled() {
+		obsIterationSeconds.Observe(time.Since(iterStart).Seconds())
+	}
 
 	// Still the sole owner of the pipeline here: refresh the cached view
 	// and persist before declaring the iteration done.
@@ -238,6 +243,7 @@ func (u *sessionUser) ask(q Question) Answer {
 		return a
 	case <-s.ctx.Done():
 	case <-timer.C:
+		obsAnswerTimeouts.Inc()
 	}
 
 	// Unpark: retract the question so a late answer gets ErrNoQuestion

@@ -35,7 +35,14 @@ if [ -f BENCH_pr3.json ]; then
         awk -v c="$current" -v b="$baseline" 'BEGIN {
             if (c > 2 * b) { printf "FAIL: Annotate ns/op regressed more than 2x (%s > 2 * %s)\n", c, b; exit 1 }
         }'
+    else
+        echo "== SKIP annotate regression guard: BENCH_pr3.json present but unparsable (baseline='${baseline}', current='${current}') — regenerate with scripts/bench.sh"
     fi
+else
+    echo "== SKIP annotate regression guard: no BENCH_pr3.json baseline in this checkout — generate one with scripts/bench.sh"
 fi
+
+echo "== docs gate (package docs + doc links)"
+./scripts/docscheck.sh
 
 echo "== OK"

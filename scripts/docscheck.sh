@@ -1,0 +1,41 @@
+#!/bin/sh
+# docscheck.sh — the docs gate run by check.sh. Two checks:
+#
+#  1. Every package must carry a package doc comment (godoc is part of
+#     the repo's documentation surface, DESIGN.md §5-§7 lean on it).
+#  2. Backticked repo paths in the top-level docs (DESIGN.md, README.md,
+#     EXPERIMENTS.md) must exist, so renames and deletions cannot leave
+#     the prose pointing at nothing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "-- package docs"
+undocumented=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./... | grep -v '^$' || true)
+if [ -n "$undocumented" ]; then
+    echo "FAIL: packages missing a package doc comment:"
+    echo "$undocumented"
+    exit 1
+fi
+
+echo "-- doc links"
+# Pull backticked tokens that look like repo paths: rooted at a known
+# top-level directory, or a bare filename with a tracked extension.
+# Trailing slashes (directory spelling) are allowed. Stdlib import
+# paths, benchmark subnames and qualified identifiers slip the net on
+# purpose — only paths this repo owns are checked.
+status=0
+for doc in DESIGN.md README.md EXPERIMENTS.md; do
+    [ -f "$doc" ] || { echo "FAIL: $doc missing"; status=1; continue; }
+    paths=$(grep -o '`[A-Za-z0-9_][A-Za-z0-9_./-]*`' "$doc" | tr -d '`' |
+        grep -E '^((internal|cmd|scripts|examples|results)/|[A-Za-z0-9_.-]+\.(go|sh|md|json|txt|csv|mod)$)' |
+        sort -u || true)
+    for p in $paths; do
+        candidate=${p%/}
+        if [ ! -e "$candidate" ]; then
+            echo "FAIL: $doc references \`$p\` which does not exist"
+            status=1
+        fi
+    done
+done
+exit $status
