@@ -26,7 +26,10 @@
 //	GET    /debug/traces             → JSON             recent per-iteration phase spans
 //
 // With -pprof, net/http/pprof is additionally mounted under
-// /debug/pprof/ on the same listener.
+// /debug/pprof/ on the same listener. With -faults, named failpoints
+// are armed for failure drills against a disposable server — see
+// internal/fault for the spec grammar and DESIGN.md §8 for the
+// failpoint catalog.
 package main
 
 import (
@@ -40,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"visclean/internal/fault"
 	"visclean/internal/obs"
 	"visclean/internal/service"
 )
@@ -57,17 +61,26 @@ func main() {
 	idleTTL := flag.Duration("idle-ttl", 15*time.Minute, "idle time before a session is evicted to disk")
 	snapshots := flag.String("snapshots", "", "directory for session snapshots (empty: no persistence)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes goroutine and heap dumps)")
+	faults := flag.String("faults", "", "DEBUG: arm failpoints, e.g. 'service/persist.rename=error@2;service/persist.sync=delay:50ms@every3' (grammar: internal/fault, catalog: DESIGN.md §8)")
 	flag.Parse()
 
 	if err := run(*dsName, *queryStr, *scale, *k, *seed, *addr, *auto,
-		*maxSessions, *workers, *idleTTL, *snapshots, *pprofOn); err != nil {
+		*maxSessions, *workers, *idleTTL, *snapshots, *pprofOn, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "viscleanweb:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dsName, queryStr string, scale float64, k int, seed int64, addr string, auto bool,
-	maxSessions, workers int, idleTTL time.Duration, snapshots string, pprofOn bool) error {
+	maxSessions, workers int, idleTTL time.Duration, snapshots string, pprofOn bool, faults string) error {
+	if faults != "" {
+		// Debug-only: deliberately degrade the server to rehearse failure
+		// handling (DESIGN.md §8). Loud by design.
+		if err := fault.ParseSpec(faults); err != nil {
+			return err
+		}
+		log.Printf("viscleanweb: DEBUG FAULT INJECTION ARMED: %v — do not run production traffic", fault.Armed())
+	}
 	// The server always runs with observability on: metric updates are a
 	// few atomic ops per iteration — noise next to an iteration's cost —
 	// and /metrics and /debug/traces are only useful populated.

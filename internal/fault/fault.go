@@ -1,0 +1,337 @@
+// Package fault provides named failpoints for deterministic fault
+// injection, in the style production Go storage systems use to reach
+// crash and error paths no integration test can hit from the outside.
+//
+// A failpoint is a call site like
+//
+//	if err := fault.Point("service/persist.rename"); err != nil { ... }
+//
+// that is a compiled-in no-op — one atomic load — unless the point has
+// been armed by a test (Arm* helpers) or by an operator spec (ParseSpec,
+// wired to viscleanweb's -faults debug flag). An armed point fires in
+// one of three modes:
+//
+//   - error: Point returns a configured error, exercising the caller's
+//     failure path (a full disk, a rename refused by the OS, …).
+//   - delay: Point sleeps for a configured duration, widening race
+//     windows that are otherwise nanoseconds wide.
+//   - crash: Point panics with a private sentinel, simulating the
+//     process dying at exactly that instruction. RecoverCrash converts
+//     the panic into ErrCrash at the function boundary, so on-disk
+//     state is left exactly as a kill would leave it (temp files
+//     orphaned, renames not performed) while the test process survives.
+//
+// Whether a given call fires is decided by a deterministic Schedule
+// over the point's per-arm call counter: "fail the 2nd call", "fail
+// every 3rd call", or "fail always". Schedules make fault runs
+// reproducible — the same operation sequence hits the same faults.
+//
+// This package is reproduction infrastructure (nothing in the paper
+// needs it); it exists so the service layer's durability claims in
+// DESIGN.md §8 are tested rather than asserted.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed failpoint does when its schedule fires.
+type Mode int
+
+const (
+	// ModeError makes Point return the armed error.
+	ModeError Mode = iota
+	// ModeDelay makes Point sleep for the armed duration.
+	ModeDelay
+	// ModeCrash makes Point panic with the crash sentinel (see
+	// RecoverCrash).
+	ModeCrash
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeDelay:
+		return "delay"
+	case ModeCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Schedule decides deterministically which calls of an armed point
+// fire, counted from 1 since the point was armed. An empty schedule
+// never fires.
+type Schedule struct {
+	// Calls lists 1-based call numbers that fire ("fail the 2nd call").
+	Calls []int
+	// Every fires every Nth call (N, 2N, 3N, …). Zero disables.
+	Every int
+	// Always fires on every call.
+	Always bool
+}
+
+func (s Schedule) fires(call int) bool {
+	if s.Always {
+		return true
+	}
+	for _, c := range s.Calls {
+		if c == call {
+			return true
+		}
+	}
+	return s.Every > 0 && call%s.Every == 0
+}
+
+// ErrCrash is the sentinel error a simulated crash resolves to once
+// RecoverCrash has recovered the panic. Callers that retry transient
+// persistence errors must NOT retry ErrCrash: it models the process
+// dying, and retrying in-process would defeat the simulation.
+var ErrCrash = errors.New("fault: simulated crash")
+
+// crashPanic is the private panic payload of ModeCrash.
+type crashPanic struct{ name string }
+
+// RecoverCrash is a deferred helper that converts a simulated-crash
+// panic into an error assigned to *errp (wrapping ErrCrash). Any other
+// panic is re-raised. Place it at the boundary whose on-disk effects
+// should look crash-interrupted:
+//
+//	func WriteSnapshotFile(path string, snap Snapshot) (err error) {
+//	    defer fault.RecoverCrash(&err)
+//	    ...
+func RecoverCrash(errp *error) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	c, ok := v.(crashPanic)
+	if !ok {
+		panic(v)
+	}
+	*errp = fmt.Errorf("%w at %s", ErrCrash, c.name)
+}
+
+// point is one armed failpoint.
+type point struct {
+	mode  Mode
+	sched Schedule
+	err   error
+	delay time.Duration
+	calls int
+}
+
+var (
+	// armed counts armed points; Point's fast path is a single load of
+	// it, so a binary with no faults armed pays one atomic read per
+	// failpoint — unmeasurable next to any I/O the point guards.
+	armed atomic.Int32
+
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Point checks the named failpoint. Disarmed (the overwhelmingly common
+// case) it returns nil after one atomic load. Armed, it advances the
+// point's call counter and, when the schedule fires, returns the armed
+// error, sleeps the armed delay, or panics with the crash sentinel.
+func Point(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	if p == nil {
+		mu.Unlock()
+		return nil
+	}
+	p.calls++
+	fire := p.sched.fires(p.calls)
+	mode, errv, delay := p.mode, p.err, p.delay
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch mode {
+	case ModeDelay:
+		time.Sleep(delay)
+		return nil
+	case ModeCrash:
+		panic(crashPanic{name})
+	default:
+		return errv
+	}
+}
+
+// arm installs (or replaces) a point, resetting its call counter, and
+// returns a disarm func for deferring.
+func arm(name string, p *point) func() {
+	mu.Lock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = p
+	mu.Unlock()
+	return func() { Disarm(name) }
+}
+
+// ArmError arms a point to return err on scheduled calls. A nil err is
+// replaced with a generic injected-fault error.
+func ArmError(name string, err error, s Schedule) func() {
+	if err == nil {
+		err = fmt.Errorf("fault: injected error at %s", name)
+	}
+	return arm(name, &point{mode: ModeError, sched: s, err: err})
+}
+
+// ArmDelay arms a point to sleep d on scheduled calls.
+func ArmDelay(name string, d time.Duration, s Schedule) func() {
+	return arm(name, &point{mode: ModeDelay, sched: s, delay: d})
+}
+
+// ArmCrash arms a point to simulate a process crash on scheduled calls
+// (panic with the sentinel RecoverCrash understands).
+func ArmCrash(name string, s Schedule) func() {
+	return arm(name, &point{mode: ModeCrash, sched: s})
+}
+
+// Disarm removes one armed point; a no-op for unknown names.
+func Disarm(name string) {
+	mu.Lock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point. Tests that arm faults must defer this so
+// global state never leaks across tests.
+func Reset() {
+	mu.Lock()
+	for name := range points {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Hits reports how many times an armed point has been reached since it
+// was armed (fired or not). Zero for disarmed points.
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		return p.calls
+	}
+	return 0
+}
+
+// Armed lists the currently armed point names, sorted.
+func Armed() []string {
+	mu.Lock()
+	names := make([]string, 0, len(points))
+	for name := range points {
+		names = append(names, name)
+	}
+	mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// ParseSpec arms failpoints from a textual spec, the grammar behind
+// viscleanweb's -faults flag:
+//
+//	spec     = clause { ";" clause }
+//	clause   = point "=" mode [ ":" arg ] [ "@" schedule ]
+//	mode     = "error" | "delay" | "crash"
+//	arg      = error message (error) | duration (delay, e.g. 50ms)
+//	schedule = "always" (default) | "everyN" | call numbers "2" / "1,3"
+//
+// Examples:
+//
+//	service/persist.rename=error@2
+//	service/persist.sync=delay:50ms@every3;service/persist.write=crash@1
+//
+// On error, nothing is armed (clauses armed before the bad one are
+// disarmed again).
+func ParseSpec(spec string) error {
+	var cleanups []func()
+	fail := func(err error) error {
+		for _, c := range cleanups {
+			c()
+		}
+		return err
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, "=")
+		if !ok || name == "" {
+			return fail(fmt.Errorf("fault: bad clause %q: want point=mode[:arg][@schedule]", clause))
+		}
+		modeArg, schedStr, hasSched := strings.Cut(rest, "@")
+		modeStr, arg, _ := strings.Cut(modeArg, ":")
+		sched := Schedule{Always: true}
+		if hasSched {
+			var err error
+			if sched, err = parseSchedule(schedStr); err != nil {
+				return fail(fmt.Errorf("fault: bad clause %q: %w", clause, err))
+			}
+		}
+		switch modeStr {
+		case "error":
+			var err error
+			if arg != "" {
+				err = errors.New(arg)
+			}
+			cleanups = append(cleanups, ArmError(name, err, sched))
+		case "delay":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return fail(fmt.Errorf("fault: bad clause %q: delay needs a duration arg: %w", clause, err))
+			}
+			cleanups = append(cleanups, ArmDelay(name, d, sched))
+		case "crash":
+			cleanups = append(cleanups, ArmCrash(name, sched))
+		default:
+			return fail(fmt.Errorf("fault: bad clause %q: unknown mode %q", clause, modeStr))
+		}
+	}
+	return nil
+}
+
+func parseSchedule(s string) (Schedule, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "always":
+		return Schedule{Always: true}, nil
+	case strings.HasPrefix(s, "every"):
+		n, err := strconv.Atoi(s[len("every"):])
+		if err != nil || n <= 0 {
+			return Schedule{}, fmt.Errorf("bad schedule %q: want everyN with N ≥ 1", s)
+		}
+		return Schedule{Every: n}, nil
+	default:
+		var sched Schedule
+		for _, part := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return Schedule{}, fmt.Errorf("bad schedule %q: want call numbers ≥ 1", s)
+			}
+			sched.Calls = append(sched.Calls, n)
+		}
+		return sched, nil
+	}
+}

@@ -34,6 +34,9 @@ var (
 	obsIterationSeconds = obs.Default.Histogram("visclean_service_iteration_seconds",
 		"Wall time of scheduled iterations, including parked question waits.", obs.TimeBuckets)
 
+	obsPersistFailures = obs.Default.Counter("visclean_persist_failures_total",
+		"Session snapshot persists that failed after retries; eviction keeps such sessions live and retries at the next sweep.")
+
 	obsSnapshotSeconds = obs.Default.Histogram("visclean_service_snapshot_seconds",
 		"Session snapshot persistence latency.", obs.TimeBuckets)
 	obsSnapshotBytes = obs.Default.Histogram("visclean_service_snapshot_bytes",

@@ -2,7 +2,9 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"visclean/internal/fault"
 	"visclean/internal/obs"
 )
 
@@ -14,6 +16,11 @@ import (
 type pool struct {
 	jobs chan func()
 	wg   sync.WaitGroup
+	// queued tracks jobs accepted but not yet picked up by a worker. It
+	// is the single source of truth for the queue-depth gauge: len(jobs)
+	// snapshots taken from both the submit and the worker side can
+	// interleave and publish stale values, an atomic counter cannot.
+	queued atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -26,10 +33,15 @@ func newPool(workers, depth int) *pool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
-				obsQueueDepth.Set(int64(len(p.jobs)))
-				obsWorkersBusy.Inc()
+				p.queued.Add(-1)
+				if obs.Enabled() {
+					obsQueueDepth.Set(p.queued.Load())
+					obsWorkersBusy.Inc()
+				}
 				job()
-				obsWorkersBusy.Dec()
+				if obs.Enabled() {
+					obsWorkersBusy.Dec()
+				}
 			}
 		}()
 	}
@@ -39,18 +51,25 @@ func newPool(workers, depth int) *pool {
 // trySubmit enqueues a job unless the queue is full or the pool is shut
 // down. It reports whether the job was accepted.
 func (p *pool) trySubmit(job func()) bool {
+	if err := fault.Point("service/pool.submit"); err != nil {
+		return false
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return false
 	}
+	// Count before sending so the counter never goes negative when a
+	// worker dequeues the job instantly.
+	p.queued.Add(1)
 	select {
 	case p.jobs <- job:
 		if obs.Enabled() {
-			obsQueueDepth.Set(int64(len(p.jobs)))
+			obsQueueDepth.Set(p.queued.Load())
 		}
 		return true
 	default:
+		p.queued.Add(-1)
 		return false
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"visclean/internal/fault"
 	"visclean/internal/pipeline"
 )
 
@@ -28,6 +29,12 @@ type Registry struct {
 	// capacity check covers in-flight creates too.
 	building int
 	closed   bool
+	// idLocks serializes restore and close per session id (entries are
+	// refcounted and removed when idle). Without it, Close on a
+	// disk-only session can delete the snapshot while a concurrent
+	// restore has already read it — the restore then re-registers and
+	// later re-persists the session, resurrecting a closed id.
+	idLocks map[string]*idLock
 
 	stopSweep   chan struct{}
 	sweeperDone chan struct{}
@@ -39,10 +46,14 @@ func NewRegistry(cfg Config) *Registry {
 	r := &Registry{
 		cfg:         cfg.withDefaults(),
 		sessions:    make(map[string]*Session),
+		idLocks:     make(map[string]*idLock),
 		stopSweep:   make(chan struct{}),
 		sweeperDone: make(chan struct{}),
 	}
 	r.pool = newPool(r.cfg.Workers, r.cfg.QueueDepth)
+	if r.cfg.SnapshotDir != "" {
+		r.sweepOrphanTemps()
+	}
 	go r.sweeper()
 	return r
 }
@@ -70,6 +81,36 @@ func validSessionID(id string) bool {
 		}
 	}
 	return true
+}
+
+// idLock is one per-id restore/close mutex, refcounted so the map entry
+// disappears once nobody holds or waits on it.
+type idLock struct {
+	ref int
+	mu  sync.Mutex
+}
+
+// lockID acquires the per-id lock, returning its release func. Lock
+// order: r.mu is only ever held briefly inside lockID/release, never
+// while blocking on an idLock, so the two levels cannot deadlock.
+func (r *Registry) lockID(id string) (release func()) {
+	r.mu.Lock()
+	l := r.idLocks[id]
+	if l == nil {
+		l = &idLock{}
+		r.idLocks[id] = l
+	}
+	l.ref++
+	r.mu.Unlock()
+	l.mu.Lock()
+	return func() {
+		l.mu.Unlock()
+		r.mu.Lock()
+		if l.ref--; l.ref == 0 {
+			delete(r.idLocks, id)
+		}
+		r.mu.Unlock()
+	}
 }
 
 // reserveSlot claims one unit of session capacity.
@@ -141,8 +182,10 @@ func (r *Registry) Create(spec Spec) (string, error) {
 	obsSessionsCreated.Inc()
 
 	// Persist immediately so even a never-iterated session survives a
-	// restart.
-	r.persistSession(s)
+	// restart. A failed persist is logged and metered inside; the
+	// session is still live, and the next successful persist (iteration
+	// end or eviction) establishes durability.
+	_ = r.persistSession(s)
 	r.cfg.Logf("service: session %s created (%s scale=%g seed=%d auto=%v)",
 		id, spec.Dataset, spec.Scale, spec.Seed, spec.Auto)
 	return id, nil
@@ -161,13 +204,25 @@ func (r *Registry) get(id string) (*Session, error) {
 }
 
 // restore rebuilds a session from its snapshot: factory(spec) then
-// replay of the answer log. Corrupt or unreadable snapshots are
+// replay of the answer log, all under the per-id lock so a concurrent
+// Close cannot delete the snapshot mid-restore (and two restores of the
+// same id cannot double-build). Corrupt or unreadable snapshots are
 // reported as ErrNotFound to the caller after logging — one bad file
 // must never take the server down.
 func (r *Registry) restore(id string) (*Session, error) {
 	if r.cfg.SnapshotDir == "" || !validSessionID(id) {
 		return nil, ErrNotFound
 	}
+	release := r.lockID(id)
+	defer release()
+	// A concurrent restore may have won while we waited for the lock.
+	r.mu.Lock()
+	if s, ok := r.sessions[id]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
 	snap, err := ReadSnapshotFile(r.snapshotPath(id))
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
@@ -182,48 +237,52 @@ func (r *Registry) restore(id string) (*Session, error) {
 	if err := r.reserveSlot(); err != nil {
 		return nil, err
 	}
-	ps, auto, err := r.cfg.Factory(snap.Spec)
-	if err != nil {
-		r.releaseSlot()
-		r.cfg.Logf("service: rebuild session %s: %v", id, err)
-		return nil, ErrNotFound
+	// Failpoint service/restore.build sits between the snapshot read
+	// and the rebuild: a delay here is the widened race window the
+	// close/restore regression test drives.
+	if err := fault.Point("service/restore.build"); err == nil {
+		var ps *pipeline.Session
+		var auto pipeline.User
+		ps, auto, err = r.cfg.Factory(snap.Spec)
+		if err == nil {
+			if rerr := fault.Point("service/restore.replay"); rerr != nil {
+				err = rerr
+			} else {
+				err = ps.Replay(snap.History)
+			}
+		}
+		if err == nil {
+			s := r.wrap(id, snap.Spec, ps, auto)
+			r.mu.Lock()
+			r.building--
+			if r.closed {
+				r.mu.Unlock()
+				s.cancel()
+				return nil, ErrClosed
+			}
+			r.sessions[id] = s
+			obsSessionsLive.Set(int64(len(r.sessions)))
+			r.mu.Unlock()
+			obsSessionsRestored.Inc()
+			r.cfg.Logf("service: session %s restored from snapshot (%d iterations, %d answers replayed)",
+				id, len(snap.History.Iterations), snap.History.NumAnswers())
+			return s, nil
+		}
 	}
-	if err := ps.Replay(snap.History); err != nil {
-		r.releaseSlot()
-		r.cfg.Logf("service: replay session %s: %v", id, err)
-		return nil, ErrNotFound
-	}
-	s := r.wrap(id, snap.Spec, ps, auto)
-
-	r.mu.Lock()
-	r.building--
-	if r.closed {
-		r.mu.Unlock()
-		s.cancel()
-		return nil, ErrClosed
-	}
-	if existing, ok := r.sessions[id]; ok {
-		// A concurrent restore won the race; use its session.
-		r.mu.Unlock()
-		s.cancel()
-		return existing, nil
-	}
-	r.sessions[id] = s
-	obsSessionsLive.Set(int64(len(r.sessions)))
-	r.mu.Unlock()
-	obsSessionsRestored.Inc()
-	r.cfg.Logf("service: session %s restored from snapshot (%d iterations, %d answers replayed)",
-		id, len(snap.History.Iterations), snap.History.NumAnswers())
-	return s, nil
+	r.releaseSlot()
+	r.cfg.Logf("service: rebuild session %s: %v", id, err)
+	return nil, ErrNotFound
 }
 
 // RestoreAll eagerly restores every snapshot in the snapshot directory,
-// up to the capacity cap, skipping corrupt files. It returns how many
-// sessions were restored.
+// up to the capacity cap, skipping corrupt files; snapshots beyond the
+// cap are left intact on disk for lazy restore once capacity frees up.
+// It returns how many sessions were restored.
 func (r *Registry) RestoreAll() int {
 	if r.cfg.SnapshotDir == "" {
 		return 0
 	}
+	r.sweepOrphanTemps()
 	entries, err := os.ReadDir(r.cfg.SnapshotDir)
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
@@ -231,16 +290,25 @@ func (r *Registry) RestoreAll() int {
 		}
 		return 0
 	}
-	restored := 0
+	restored, overCap := 0, 0
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".json") {
 			continue
 		}
 		id := strings.TrimSuffix(name, ".json")
-		if _, err := r.get(id); err == nil {
+		switch _, err := r.get(id); {
+		case err == nil:
 			restored++
+		case errors.Is(err, ErrBusy):
+			// Not corruption: the cap is full. The snapshot stays on
+			// disk and restores lazily when a slot frees.
+			overCap++
 		}
+	}
+	if overCap > 0 {
+		r.cfg.Logf("service: restore: %d snapshot(s) left on disk (session capacity %d reached)",
+			overCap, r.cfg.MaxSessions)
 	}
 	return restored
 }
@@ -295,10 +363,17 @@ func (r *Registry) Iterate(id string) error {
 	return nil
 }
 
-// Answer resolves the session's pending question.
+// Answer resolves the session's pending question. A nil return is the
+// acknowledgement: the answer has been handed to the iteration and will
+// be applied and logged (the durability guarantee in DESIGN.md §8
+// starts from here). On error the question stays pending and the client
+// may retry.
 func (r *Registry) Answer(id string, a Answer) error {
 	s, err := r.get(id)
 	if err != nil {
+		return err
+	}
+	if err := fault.Point("service/answer.deliver"); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -317,8 +392,16 @@ func (r *Registry) Answer(id string, a Answer) error {
 // Close terminates a session: its in-flight iteration is cancelled, its
 // parked question unparked, and its snapshot deleted — close is the
 // "user is done" verb, unlike eviction which preserves the snapshot for
-// later resumption.
+// later resumption. The per-id lock serializes it against a concurrent
+// restore of the same id, so a restore that already read the snapshot
+// cannot re-register the session after Close deleted the file.
 func (r *Registry) Close(id string) error {
+	if !validSessionID(id) {
+		// Generated ids are always valid, so nothing can exist here.
+		return ErrNotFound
+	}
+	release := r.lockID(id)
+	defer release()
 	r.mu.Lock()
 	s, ok := r.sessions[id]
 	r.mu.Unlock()
@@ -329,7 +412,7 @@ func (r *Registry) Close(id string) error {
 		r.cfg.Logf("service: session %s closed", id)
 		return nil
 	}
-	if validSessionID(id) && r.deleteSnapshot(id) {
+	if r.deleteSnapshot(id) {
 		obsSessionsClosed.Inc()
 		r.cfg.Logf("service: session %s closed (snapshot only)", id)
 		return nil
@@ -340,7 +423,7 @@ func (r *Registry) Close(id string) error {
 // teardown cancels a session, waits for its iteration to stop,
 // optionally persists it, and removes it from the registry.
 func (r *Registry) teardown(s *Session, persist bool) {
-	r.teardownAll([]*Session{s}, persist)
+	r.teardownAll([]*Session{s}, persist, false)
 }
 
 // teardownAll tears down a batch: every victim is cancelled FIRST, then
@@ -348,7 +431,13 @@ func (r *Registry) teardown(s *Session, persist bool) {
 // worker pool — a victim whose iteration is queued behind another
 // victim's parked iteration only finishes once that one is cancelled
 // too, so cancel-then-wait per session could stall the whole sweep.
-func (r *Registry) teardownAll(victims []*Session, persist bool) {
+//
+// With keepOnPersistFailure (eviction), a victim whose snapshot cannot
+// be persisted even after retries is NOT dropped: discarding it would
+// silently lose acked answers. It is re-registered live (fresh context,
+// closed flag cleared) and the next sweep retries. The count of such
+// kept sessions is returned.
+func (r *Registry) teardownAll(victims []*Session, persist, keepOnPersistFailure bool) (kept int) {
 	var started []*Session
 	for _, s := range victims {
 		s.mu.Lock()
@@ -369,22 +458,38 @@ func (r *Registry) teardownAll(victims []*Session, persist bool) {
 		if done != nil {
 			select {
 			case <-done:
-			case <-time.After(30 * time.Second):
+			case <-r.cfg.teardownAfter(r.cfg.TeardownTimeout):
 				// The iteration ignored cancellation (stuck user code).
 				// The pipeline may still be mutating, so reading its
 				// history is unsafe — drop the session without a snapshot.
-				r.cfg.Logf("service: session %s iteration did not stop within 30s; dropping without snapshot", s.id)
+				r.cfg.Logf("service: session %s iteration did not stop within %v; dropping without snapshot",
+					s.id, r.cfg.TeardownTimeout)
 				keep = false
 			}
 		}
-		if keep {
-			r.persistSession(s)
+		if keep && r.persistSession(s) != nil && keepOnPersistFailure {
+			// Persist failed after retries. Resurrect the session under
+			// a fresh context rather than dropping state the user was
+			// told was applied; the next sweep will retry the persist.
+			ns := r.wrap(s.id, s.spec, s.ps, s.autoUser)
+			r.mu.Lock()
+			if !r.closed {
+				r.sessions[s.id] = ns
+				r.mu.Unlock()
+				r.cfg.Logf("service: session %s kept live after persist failure; will retry at next sweep", s.id)
+				kept++
+				continue
+			}
+			r.mu.Unlock()
+			ns.cancel()
+			r.cfg.Logf("service: session %s state lost: persist failed during shutdown", s.id)
 		}
 		r.mu.Lock()
 		delete(r.sessions, s.id)
 		obsSessionsLive.Set(int64(len(r.sessions)))
 		r.mu.Unlock()
 	}
+	return kept
 }
 
 // SessionInfo summarizes one live session.
@@ -438,8 +543,9 @@ func (r *Registry) Len() int {
 // Sweep evicts every session idle past the TTL: the session is
 // cancelled (which unparks any pending question and aborts the
 // iteration at its next question boundary), snapshotted to disk and
-// dropped from memory. A later request for its id restores it. Returns
-// the number of sessions evicted.
+// dropped from memory. A later request for its id restores it. A
+// session whose snapshot cannot be written stays live (see
+// teardownAll). Returns the number of sessions actually evicted.
 func (r *Registry) Sweep() int {
 	cutoff := time.Now().Add(-r.cfg.IdleTTL)
 	r.mu.Lock()
@@ -453,12 +559,16 @@ func (r *Registry) Sweep() int {
 		}
 	}
 	r.mu.Unlock()
+	if len(victims) == 0 {
+		return 0
+	}
 	for _, s := range victims {
 		r.cfg.Logf("service: evicting idle session %s", s.id)
-		r.teardown(s, true)
-		obsSessionsEvicted.Inc()
 	}
-	return len(victims)
+	kept := r.teardownAll(victims, true, true)
+	evicted := len(victims) - kept
+	obsSessionsEvicted.Add(int64(evicted))
+	return evicted
 }
 
 func (r *Registry) sweeper() {
@@ -494,8 +604,6 @@ func (r *Registry) Shutdown() {
 
 	close(r.stopSweep)
 	<-r.sweeperDone
-	for _, s := range sessions {
-		r.teardown(s, true)
-	}
+	r.teardownAll(sessions, true, false)
 	r.pool.shutdown()
 }

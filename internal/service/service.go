@@ -190,6 +190,14 @@ type Config struct {
 	// AnswerTimeout is the longest a question stays parked waiting for
 	// an answer before it resolves as skipped (default 10m).
 	AnswerTimeout time.Duration
+	// TeardownTimeout is how long teardown waits for an in-flight
+	// iteration to acknowledge cancellation before declaring it wedged
+	// and dropping the session without a snapshot (default 30s).
+	TeardownTimeout time.Duration
+	// PersistRetries is how many times a failed snapshot persist is
+	// retried with capped backoff before being declared failed
+	// (default 2, i.e. up to 3 attempts).
+	PersistRetries int
 	// SnapshotDir persists session snapshots; empty disables
 	// persistence (eviction then discards state).
 	SnapshotDir string
@@ -197,6 +205,11 @@ type Config struct {
 	Factory Factory
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// teardownAfter is the teardown-timeout clock, injectable by tests
+	// so a wedged-iteration timeout can fire deterministically
+	// (default time.After).
+	teardownAfter func(time.Duration) <-chan time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -223,6 +236,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AnswerTimeout == 0 {
 		c.AnswerTimeout = 10 * time.Minute
+	}
+	if c.TeardownTimeout == 0 {
+		c.TeardownTimeout = 30 * time.Second
+	}
+	if c.PersistRetries == 0 {
+		c.PersistRetries = 2
+	}
+	if c.teardownAfter == nil {
+		c.teardownAfter = time.After
 	}
 	if c.Factory == nil {
 		c.Factory = StandardFactory

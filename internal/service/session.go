@@ -166,9 +166,20 @@ func (s *Session) runIteration() {
 	}
 
 	// Still the sole owner of the pipeline here: refresh the cached view
-	// and persist before declaring the iteration done.
-	s.refreshCache()
-	s.reg.persistSession(s)
+	// and persist before declaring the iteration done — unless a
+	// teardown already closed the session. Skipping persist on closed
+	// sessions matters twice: a teardown that timed out on a wedged
+	// iteration decided the pipeline state is unsafe to snapshot, and a
+	// Close must not have its snapshot deletion raced by a late persist
+	// from the zombie iteration. (Eviction persists in teardown itself,
+	// after waiting for this function to finish.)
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if !closed {
+		s.refreshCache()
+		_ = s.reg.persistSession(s)
+	}
 
 	s.mu.Lock()
 	s.running = false

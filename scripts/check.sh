@@ -23,6 +23,9 @@ go test -race ./...
 echo "== determinism + incremental equivalence suites (-race)"
 go test -race -count=1 -run 'TestDeterminism|TestIncremental' ./internal/pipeline/
 
+echo "== chaos suite: fault-injection kill-restart (-race, short mode)"
+go test -race -short -count=1 -run 'TestChaos' ./internal/service/
+
 echo "== benchmark smoke (Fig 10 + Annotate, 1 iteration)"
 smoke=$(go test -run xxx -bench 'BenchmarkFig10|BenchmarkAnnotate/Workers1$' -benchtime=1x .)
 echo "$smoke"

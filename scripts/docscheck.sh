@@ -2,7 +2,9 @@
 # docscheck.sh — the docs gate run by check.sh. Two checks:
 #
 #  1. Every package must carry a package doc comment (godoc is part of
-#     the repo's documentation surface, DESIGN.md §5-§7 lean on it).
+#     the repo's documentation surface, DESIGN.md §5-§8 lean on it —
+#     this is also what keeps internal/fault's failpoint semantics
+#     documented at the source).
 #  2. Backticked repo paths in the top-level docs (DESIGN.md, README.md,
 #     EXPERIMENTS.md) must exist, so renames and deletions cannot leave
 #     the prose pointing at nothing.
