@@ -1,0 +1,94 @@
+// Command viscleanrouter fronts a cluster of viscleanweb shards with a
+// consistent-hash reverse proxy (DESIGN.md §9): session ids hash onto
+// a ring over the ready shards, each session's requests are proxied to
+// its owner, dead shards are failed over (their sessions restore from
+// the shared snapshot directory on the next owner), and membership
+// changes trigger snapshot-based session migration.
+//
+// Usage:
+//
+//	viscleanweb -addr :8081 -snapshots ./sessions &   # shard 1
+//	viscleanweb -addr :8082 -snapshots ./sessions &   # shard 2
+//	viscleanrouter -addr :8080 -shards http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// Then use the router's address exactly like a single viscleanweb: the
+// GUI, /api/session, /metrics. Additional endpoints:
+//
+//	GET /cluster/state → JSON   shard health, per-shard session counts, ring membership
+//	GET /healthz       → 200    router liveness
+//	GET /readyz        → 200    at least one shard ready
+//
+// Pointing every shard at the same -snapshots directory is what makes
+// shard death lossless up to the last persisted iteration boundary;
+// with disjoint directories, migration still works but a dead shard's
+// sessions stay down until it returns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"visclean/internal/cluster"
+	"visclean/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.String("shards", "", "comma-separated shard base URLs, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082 (required)")
+	replicas := flag.Int("replicas", 64, "virtual nodes per shard on the hash ring")
+	healthEvery := flag.Duration("health-interval", time.Second, "shard /readyz probe period")
+	rebalanceEvery := flag.Duration("rebalance-interval", 5*time.Second, "periodic rebalance period")
+	flag.Parse()
+
+	if err := run(*addr, *shards, *replicas, *healthEvery, *rebalanceEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "viscleanrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, shards string, replicas int, healthEvery, rebalanceEvery time.Duration) error {
+	var list []string
+	for _, s := range strings.Split(shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			list = append(list, strings.TrimRight(s, "/"))
+		}
+	}
+	if len(list) == 0 {
+		return fmt.Errorf("no shards: pass -shards with at least one base URL")
+	}
+	obs.SetEnabled(true)
+	rt, err := cluster.New(cluster.Config{
+		Shards:            list,
+		Replicas:          replicas,
+		HealthInterval:    healthEvery,
+		RebalanceInterval: rebalanceEvery,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("viscleanrouter: serving on %s over %d shard(s): %s", addr, len(list), strings.Join(list, ", "))
+
+	select {
+	case sig := <-stop:
+		log.Printf("viscleanrouter: %v — stopping", sig)
+		_ = httpSrv.Close()
+		return nil
+	case err := <-errCh:
+		return err
+	}
+}

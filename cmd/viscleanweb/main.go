@@ -3,7 +3,9 @@
 // multi-tenant service: every browser tab gets its own cleaning session
 // behind an opaque id, managed by the internal/service registry
 // (capacity cap, idle eviction, bounded iteration workers, snapshot
-// persistence).
+// persistence). The HTTP shell itself lives in internal/web so the same
+// server runs standalone here and as one shard of a cluster behind
+// cmd/viscleanrouter.
 //
 // Usage:
 //
@@ -16,12 +18,16 @@
 //
 // API:
 //
-//	POST   /api/session              → {"id": "..."}    create (503 when at capacity)
+//	POST   /api/session              → {"id": "..."}    create (503 when at capacity; body "id" pins the id)
 //	GET    /api/sessions             → [...]            list live sessions
 //	GET    /api/session/{id}/state   → state JSON       chart, question, report
 //	POST   /api/session/{id}/iterate → 202              run one iteration (503 on overload)
 //	POST   /api/session/{id}/answer  → 204              answer the pending question
+//	POST   /api/session/{id}/export  → snapshot JSON    detach for migration (cluster internal)
+//	POST   /api/session/import       → 204              attach a detached snapshot (cluster internal)
 //	DELETE /api/session/{id}         → 204              close and forget
+//	GET    /healthz                  → 200              liveness (process up)
+//	GET    /readyz                   → 200/503          readiness: "ok" after restore, "draining" during shutdown
 //	GET    /metrics                  → text             Prometheus exposition (catalog: DESIGN.md §5)
 //	GET    /debug/traces             → JSON             recent per-iteration phase spans
 //
@@ -46,6 +52,7 @@ import (
 	"visclean/internal/fault"
 	"visclean/internal/obs"
 	"visclean/internal/service"
+	"visclean/internal/web"
 )
 
 func main() {
@@ -60,19 +67,21 @@ func main() {
 	workers := flag.Int("workers", 4, "max concurrently computing iterations")
 	idleTTL := flag.Duration("idle-ttl", 15*time.Minute, "idle time before a session is evicted to disk")
 	snapshots := flag.String("snapshots", "", "directory for session snapshots (empty: no persistence)")
+	drainWait := flag.Duration("drain-wait", 0, "on SIGTERM, stay in draining state up to this long so a cluster router can migrate sessions off before shutdown")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes goroutine and heap dumps)")
 	faults := flag.String("faults", "", "DEBUG: arm failpoints, e.g. 'service/persist.rename=error@2;service/persist.sync=delay:50ms@every3' (grammar: internal/fault, catalog: DESIGN.md §8)")
 	flag.Parse()
 
 	if err := run(*dsName, *queryStr, *scale, *k, *seed, *addr, *auto,
-		*maxSessions, *workers, *idleTTL, *snapshots, *pprofOn, *faults); err != nil {
+		*maxSessions, *workers, *idleTTL, *snapshots, *drainWait, *pprofOn, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "viscleanweb:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dsName, queryStr string, scale float64, k int, seed int64, addr string, auto bool,
-	maxSessions, workers int, idleTTL time.Duration, snapshots string, pprofOn bool, faults string) error {
+	maxSessions, workers int, idleTTL time.Duration, snapshots string, drainWait time.Duration,
+	pprofOn bool, faults string) error {
 	if faults != "" {
 		// Debug-only: deliberately degrade the server to rehearse failure
 		// handling (DESIGN.md §8). Loud by design.
@@ -101,18 +110,24 @@ func run(dsName, queryStr string, scale float64, k int, seed int64, addr string,
 		log.Printf("viscleanweb: restored %d session(s) from %s", n, snapshots)
 	}
 
-	srv := &webServer{
-		reg: reg,
-		defaults: service.Spec{
+	srv := web.New(web.Config{
+		Registry: reg,
+		Defaults: service.Spec{
 			Dataset: dsName, Scale: scale, Seed: seed,
 			Query: queryStr, K: k, Auto: auto,
 		},
-		pprof: pprofOn,
-	}
-	httpSrv := &http.Server{Addr: addr, Handler: newMux(srv)}
+		Pprof: pprofOn,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 
-	// On SIGINT/SIGTERM, stop accepting requests and snapshot every live
-	// session so a restarted server resumes them.
+	// Ready only after RestoreAll: a router probing /readyz never routes
+	// a session here before its snapshot could have been restored.
+	srv.SetReady(true)
+
+	// On SIGINT/SIGTERM, flip to draining (readyz fails, router migrates
+	// sessions off), optionally wait for the registry to empty, then stop
+	// accepting requests and snapshot whatever is still here so a
+	// restarted server resumes it.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errCh := make(chan error, 1)
@@ -123,6 +138,16 @@ func run(dsName, queryStr string, scale float64, k int, seed int64, addr string,
 	select {
 	case sig := <-stop:
 		log.Printf("viscleanweb: %v — draining", sig)
+		srv.SetDraining()
+		if drainWait > 0 {
+			deadline := time.Now().Add(drainWait)
+			for time.Now().Before(deadline) && reg.Len() > 0 {
+				time.Sleep(200 * time.Millisecond)
+			}
+			if n := reg.Len(); n > 0 {
+				log.Printf("viscleanweb: drain window elapsed with %d session(s) still local; persisting them", n)
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)

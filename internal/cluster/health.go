@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// ShardState is a shard's last observed health, driven by its /readyz
+// probe. Only Ready shards sit on the routing ring; Draining shards
+// still serve their existing sessions while the router migrates them
+// away; Starting shards are left alone (they will announce readiness
+// themselves); Down shards are assumed dead and their sessions are
+// claimed by the new ring owners via lazy restore from the shared
+// snapshot directory.
+type ShardState int32
+
+const (
+	ShardDown ShardState = iota
+	ShardStarting
+	ShardReady
+	ShardDraining
+)
+
+func (s ShardState) String() string {
+	switch s {
+	case ShardReady:
+		return "ready"
+	case ShardStarting:
+		return "starting"
+	case ShardDraining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// shard is one backend viscleanweb instance.
+type shard struct {
+	name  string // base URL, e.g. http://127.0.0.1:8081
+	state atomic.Int32
+}
+
+func (s *shard) State() ShardState     { return ShardState(s.state.Load()) }
+func (s *shard) setState(v ShardState) { s.state.Store(int32(v)) }
+
+// probe asks the shard's /readyz and classifies the reply.
+func probe(client *http.Client, base string) ShardState {
+	resp, err := client.Get(base + "/readyz")
+	if err != nil {
+		return ShardDown
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if resp.StatusCode == http.StatusOK {
+		return ShardReady
+	}
+	if strings.Contains(string(body), "draining") {
+		return ShardDraining
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return ShardStarting
+	}
+	return ShardDown
+}
+
+// checkHealth probes every shard once and reports whether any state
+// changed. On change the caller rebuilds the ring and rebalances.
+func (rt *Router) checkHealth() (changed bool) {
+	ready := 0
+	for _, sh := range rt.shards {
+		old := sh.State()
+		now := probe(rt.client, sh.name)
+		if now != old {
+			sh.setState(now)
+			rt.cfg.Logf("cluster: shard %s %s → %s", sh.name, old, now)
+			changed = true
+			if now == ShardDown {
+				rt.dropSticky(sh.name)
+			}
+		}
+		if now == ShardReady {
+			ready++
+		}
+	}
+	obsShardsReady.Set(int64(ready))
+	if changed {
+		rt.rebuildRing()
+	}
+	return changed
+}
+
+// markDown records a shard observed dead mid-request (connection
+// error), without waiting for the next probe tick.
+func (rt *Router) markDown(sh *shard) {
+	if sh.State() == ShardDown {
+		return
+	}
+	sh.setState(ShardDown)
+	rt.cfg.Logf("cluster: shard %s down (request failed)", sh.name)
+	rt.dropSticky(sh.name)
+	rt.rebuildRing()
+}
+
+// rebuildRing recomputes the ring over Ready shards.
+func (rt *Router) rebuildRing() {
+	var ready []string
+	for _, sh := range rt.shards {
+		if sh.State() == ShardReady {
+			ready = append(ready, sh.name)
+		}
+	}
+	rt.mu.Lock()
+	rt.ring = NewRing(rt.cfg.Replicas, ready)
+	rt.mu.Unlock()
+}
+
+// dropSticky forgets every sticky route pointing at the shard, so its
+// sessions re-resolve through the ring on their next request.
+func (rt *Router) dropSticky(name string) {
+	rt.mu.Lock()
+	for id, owner := range rt.sticky {
+		if owner == name {
+			delete(rt.sticky, id)
+		}
+	}
+	rt.mu.Unlock()
+}

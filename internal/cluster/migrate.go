@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"visclean/internal/service"
+)
+
+// Rebalance walks every serving shard and moves each session whose
+// ring owner differs from where it lives — which happens when a shard
+// joins (its ring slice arrives occupied by others) or starts draining
+// (it no longer sits on the ring at all). A session mid-iteration is
+// left in place unless its shard is draining: migration at an
+// iteration boundary is invisible (replay reproduces the state
+// bit-exactly), whereas migrating mid-iteration folds the unanswered
+// question away, so we don't do it without a reason to. Returns the
+// number of sessions moved.
+//
+// Shard death needs no rebalance at all: the dead shard's sessions
+// lazily restore on their new ring owners — from the shared snapshot
+// directory, at their last persisted boundary — the moment a request
+// for them arrives (see Router.handleSession).
+func (rt *Router) Rebalance() (moved int) {
+	obsRebalances.Inc()
+	for _, sh := range rt.shards {
+		st := sh.State()
+		if st != ShardReady && st != ShardDraining {
+			continue
+		}
+		res, err := rt.do(sh, http.MethodGet, "/api/sessions", "", nil)
+		if err != nil {
+			rt.markDown(sh)
+			continue
+		}
+		if res.status != http.StatusOK {
+			continue
+		}
+		var infos []service.SessionInfo
+		if json.Unmarshal(res.body, &infos) != nil {
+			continue
+		}
+		draining := st == ShardDraining
+		for _, info := range infos {
+			rt.mu.Lock()
+			desired := rt.ring.Owner(info.ID)
+			rt.mu.Unlock()
+			if desired == "" || (desired == sh.name && !draining) {
+				continue
+			}
+			if info.Running && !draining {
+				continue // boundary-only migration; catch it next round
+			}
+			target := rt.byName[desired]
+			if target == nil || target.State() != ShardReady {
+				continue
+			}
+			if rt.migrate(info.ID, sh, target) {
+				moved++
+			}
+		}
+	}
+	return moved
+}
+
+// migrate moves one session: export (detach) from the old shard,
+// import (attach + replay) on the new one. A failed import is not
+// fatal to the session — the export deliberately leaves the on-disk
+// snapshot in place, so the session stays restorable at its last
+// persisted boundary wherever the ring sends its next request.
+func (rt *Router) migrate(id string, from, to *shard) bool {
+	res, err := rt.do(from, http.MethodPost, "/api/session/"+id+"/export", "", nil)
+	if err != nil {
+		rt.markDown(from)
+		return false
+	}
+	if res.status != http.StatusOK {
+		// 404/410: the session vanished (closed, or already migrated by a
+		// concurrent pass) — nothing to move.
+		return false
+	}
+	imp, err := rt.do(to, http.MethodPost, "/api/session/import", "", res.body)
+	if err != nil {
+		rt.markDown(to)
+		obsMigrationFailures.Inc()
+		rt.cfg.Logf("cluster: migrate %s %s → %s: import failed: %v", id, from.name, to.name, err)
+		return false
+	}
+	switch imp.status {
+	case http.StatusNoContent, http.StatusConflict:
+		// Conflict means the target already holds the session (a
+		// concurrent restore or an earlier half-done migration) — the
+		// outcome we wanted either way.
+		rt.setSticky(id, to.name)
+		obsMigrations.Inc()
+		rt.cfg.Logf("cluster: migrated session %s %s → %s", id, from.name, to.name)
+		return true
+	default:
+		obsMigrationFailures.Inc()
+		rt.cfg.Logf("cluster: migrate %s %s → %s: import status %d: %s",
+			id, from.name, to.name, imp.status, string(imp.body))
+		return false
+	}
+}

@@ -1,0 +1,33 @@
+package cluster
+
+// Router observability (catalog in DESIGN.md §5): request and failover
+// volume, shard health, and migration outcomes. The router exposes
+// obs.Default at its own /metrics; when shards run in-process (the
+// loadgen -self harness) the families merge into one registry, which
+// is why every name here carries the visclean_router_ prefix.
+
+import (
+	"net/http"
+
+	"visclean/internal/obs"
+)
+
+var (
+	obsRequests = obs.Default.Counter("visclean_router_requests_total",
+		"Requests accepted by the cluster router.")
+	obsRetries = obs.Default.Counter("visclean_router_retries_total",
+		"Failover attempts: a candidate shard failed or disclaimed the session and the next one was tried.")
+	obsShardsReady = obs.Default.Gauge("visclean_router_shards_ready",
+		"Shards currently passing their /readyz probe.")
+	obsRebalances = obs.Default.Counter("visclean_router_rebalances_total",
+		"Rebalance passes over the shard set.")
+	obsMigrations = obs.Default.Counter("visclean_router_migrations_total",
+		"Sessions moved between shards (export/import migrations).")
+	obsMigrationFailures = obs.Default.Counter("visclean_router_migration_failures_total",
+		"Migrations that failed at the import step; the session stays restorable from its snapshot.")
+)
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+}

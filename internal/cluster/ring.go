@@ -1,0 +1,129 @@
+// Package cluster shards the VisClean session service across N
+// shared-nothing viscleanweb instances behind one consistent-hash
+// router (DESIGN.md §9). Session ids hash onto a ring of virtual
+// nodes; the router proxies each request to the shard that owns the
+// id, health-checks shard readiness, and migrates sessions — via the
+// web layer's snapshot export/import pair — when membership changes
+// (a shard joins, drains, or dies). Because a session is a spec plus a
+// deterministic answer log, migration is replay, and a shard death
+// costs at most the answers since the victim's last persisted
+// iteration boundary (nothing, when shards share a snapshot
+// directory).
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is an immutable consistent-hash ring: each node contributes
+// `replicas` virtual points placed by hashing "node#i", and a key is
+// owned by the first point clockwise of the key's own hash. Adding or
+// removing one node therefore moves only ~1/N of the key space —
+// exactly the sessions the router must migrate, no more.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// hashKey is FNV-1a 64 with a murmur-style finalizer — stable across
+// processes and Go versions (unlike maphash) and cheap. The finalizer
+// matters: raw FNV-1a places keys that differ only in the last byte
+// within ~2^44 of each other on a 2^64 ring (the final XOR-multiply
+// spreads them by at most 255× the FNV prime), so sequential ids like
+// lg-0001, lg-0002, … would all cluster under one vnode. The avalanche
+// mix diffuses them over the whole ring.
+func hashKey(key string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(key))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NewRing builds a ring over the given nodes with `replicas` virtual
+// points per node (≤0 defaults to 64). An empty node list yields an
+// empty ring whose Owner is "".
+func NewRing(replicas int, nodes []string) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &Ring{replicas: replicas}
+	for _, n := range nodes {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on node name so equal hashes (vanishingly rare but
+		// possible) order deterministically regardless of input order.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the distinct node names on the ring.
+func (r *Ring) Nodes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the node owning the key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].node
+}
+
+// Owners returns up to n distinct nodes in ring (preference) order
+// starting at the key's owner: the owner first, then the nodes that
+// would own the key if the ones before them vanished. The router uses
+// this as its failover candidate order.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	start := r.search(key)
+	seen := make(map[string]bool, n)
+	var out []string
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point clockwise of the key.
+func (r *Ring) search(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the key hashes past the last point
+	}
+	return i
+}

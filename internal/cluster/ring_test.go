@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: same nodes (any order) → identical ownership.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(64, []string{"http://s1", "http://s2", "http://s3"})
+	b := NewRing(64, []string{"http://s3", "http://s1", "http://s2"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("lg-%04d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owner depends on node order: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingBalance: with enough vnodes, no node owns a grossly
+// disproportionate share of sequential session ids (the loadgen id
+// shape) or of random-looking hex ids.
+func TestRingBalance(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		nodes []string
+	}{
+		{"urls", []string{"http://127.0.0.1:8081", "http://127.0.0.1:8082"}},
+		{"three", []string{"a", "b", "c"}},
+	} {
+		r := NewRing(64, tc.nodes)
+		counts := make(map[string]int)
+		const n = 1000
+		for i := 0; i < n; i++ {
+			counts[r.Owner(fmt.Sprintf("lg-%04d", i))]++
+		}
+		want := n / len(tc.nodes)
+		for _, node := range tc.nodes {
+			got := counts[node]
+			if got < want/3 || got > want*3 {
+				t.Errorf("%s: node %s owns %d of %d keys (fair share %d)", tc.name, node, got, n, want)
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one node must not move any key
+// whose owner survives — the consistent-hashing contract the
+// migration cost model rests on.
+func TestRingMinimalDisruption(t *testing.T) {
+	nodes := []string{"s1", "s2", "s3", "s4"}
+	full := NewRing(64, nodes)
+	without := NewRing(64, []string{"s1", "s2", "s4"}) // s3 removed
+	moved, total := 0, 2000
+	for i := 0; i < total; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		was, now := full.Owner(key), without.Owner(key)
+		if was != "s3" && was != now {
+			t.Fatalf("key %s moved %s → %s though %s survived", key, was, now, was)
+		}
+		if was == "s3" {
+			moved++
+		}
+	}
+	if moved == 0 || moved > total/2 {
+		t.Fatalf("implausible disruption: %d/%d keys owned by the removed node", moved, total)
+	}
+}
+
+// TestRingOwners: the failover order starts at the owner, contains no
+// duplicates, and never exceeds the node count.
+func TestRingOwners(t *testing.T) {
+	r := NewRing(64, []string{"s1", "s2", "s3"})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owners := r.Owners(key, 5)
+		if len(owners) != 3 {
+			t.Fatalf("key %s: %d owners, want 3 distinct", key, len(owners))
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("key %s: Owners[0]=%s != Owner=%s", key, owners[0], r.Owner(key))
+		}
+		seen := make(map[string]bool)
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %s: duplicate owner %s", key, o)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing and panics nowhere.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(64, nil)
+	if r.Owner("x") != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+	if r.Owners("x", 3) != nil {
+		t.Fatal("empty ring returned owners")
+	}
+}

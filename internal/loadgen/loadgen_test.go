@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	vs := []float64{9, 1, 7, 3, 5} // unsorted on purpose
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{50, 5},
+		{90, 9},
+		{99, 9},
+		{0, 1},
+	} {
+		if got := Percentile(vs, tc.p); got != tc.want {
+			t.Errorf("P%g = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty sample P50 = %g, want 0", got)
+	}
+}
+
+// TestFingerprintBitExact: fingerprints must separate states that
+// differ in the last ulp or in the sign of zero — the resolution the
+// chaos prefix comparisons rely on.
+func TestFingerprintBitExact(t *testing.T) {
+	var a, b StateJSON
+	a.Truth, b.Truth = 0.1, 0.1
+	a.Chart.Labels = []string{"x"}
+	b.Chart.Labels = []string{"x"}
+	a.Chart.Values = []float64{1.0}
+	b.Chart.Values = []float64{1.0}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical states fingerprint differently")
+	}
+	b.Chart.Values[0] = math.Nextafter(1.0, 2.0)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("one-ulp chart difference not detected")
+	}
+	b.Chart.Values[0] = math.Copysign(0, -1)
+	a.Chart.Values[0] = 0
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("sign-of-zero difference not detected")
+	}
+}
+
+func TestScrapeMetrics(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write([]byte(strings.Join([]string{
+			"# HELP visclean_router_requests_total requests",
+			"# TYPE visclean_router_requests_total counter",
+			"visclean_router_requests_total 41",
+			`visclean_pipeline_questions_total{kind="T"} 3`,
+			`visclean_pipeline_questions_total{kind="A"} 4`,
+			"not a metric line",
+			"", // blank
+		}, "\n")))
+	}))
+	defer ts.Close()
+	fams, err := ScrapeMetrics(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams["visclean_router_requests_total"]; got != 41 {
+		t.Errorf("requests_total = %g, want 41", got)
+	}
+	// Labelled series collapse into their family, summed.
+	if got := fams["visclean_pipeline_questions_total"]; got != 7 {
+		t.Errorf("questions_total = %g, want 7 (labels summed)", got)
+	}
+}

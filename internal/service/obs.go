@@ -34,6 +34,11 @@ var (
 	obsIterationSeconds = obs.Default.Histogram("visclean_service_iteration_seconds",
 		"Wall time of scheduled iterations, including parked question waits.", obs.TimeBuckets)
 
+	obsSessionsDetached = obs.Default.Counter("visclean_service_sessions_detached_total",
+		"Sessions exported for migration to another shard (Detach).")
+	obsSessionsAttached = obs.Default.Counter("visclean_service_sessions_attached_total",
+		"Sessions imported from another shard and rebuilt by replay (Attach).")
+
 	obsPersistFailures = obs.Default.Counter("visclean_persist_failures_total",
 		"Session snapshot persists that failed after retries; eviction keeps such sessions live and retries at the next sweep.")
 

@@ -22,12 +22,14 @@ type pool struct {
 	// interleave and publish stale values, an atomic counter cannot.
 	queued atomic.Int64
 
+	workers int
+
 	mu     sync.Mutex
 	closed bool
 }
 
 func newPool(workers, depth int) *pool {
-	p := &pool{jobs: make(chan func(), depth)}
+	p := &pool{jobs: make(chan func(), depth), workers: workers}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go func() {
@@ -46,6 +48,11 @@ func newPool(workers, depth int) *pool {
 		}()
 	}
 	return p
+}
+
+// stats reports queued jobs, queue capacity and worker count.
+func (p *pool) stats() (queued, capacity, workers int) {
+	return int(p.queued.Load()), cap(p.jobs), p.workers
 }
 
 // trySubmit enqueues a job unless the queue is full or the pool is shut

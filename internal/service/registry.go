@@ -157,6 +157,37 @@ func (r *Registry) wrap(id string, spec Spec, ps *pipeline.Session, auto pipelin
 // with ErrBusy at the capacity cap. The spec is normalized first; the
 // normalized form is what snapshots store.
 func (r *Registry) Create(spec Spec) (string, error) {
+	// Generated ids are 16 hex chars of crypto/rand output: no duplicate
+	// check needed, and no per-id lock either.
+	return r.create(newSessionID(), spec)
+}
+
+// CreateWithID builds a new session under a caller-chosen id. The
+// cluster router uses it so a session's id (and therefore its
+// consistent-hash placement) is decided before the shard is picked. It
+// fails with ErrExists when the id already names a live session or an
+// on-disk snapshot.
+func (r *Registry) CreateWithID(id string, spec Spec) (string, error) {
+	if !validSessionID(id) {
+		return "", fmt.Errorf("service: invalid session id %q", id)
+	}
+	release := r.lockID(id)
+	defer release()
+	r.mu.Lock()
+	_, live := r.sessions[id]
+	r.mu.Unlock()
+	if live {
+		return "", ErrExists
+	}
+	if r.cfg.SnapshotDir != "" {
+		if _, err := os.Stat(r.snapshotPath(id)); err == nil {
+			return "", ErrExists
+		}
+	}
+	return r.create(id, spec)
+}
+
+func (r *Registry) create(id string, spec Spec) (string, error) {
 	spec = spec.WithDefaults()
 	if err := r.reserveSlot(); err != nil {
 		return "", err
@@ -166,7 +197,6 @@ func (r *Registry) Create(spec Spec) (string, error) {
 		r.releaseSlot()
 		return "", err
 	}
-	id := newSessionID()
 	s := r.wrap(id, spec, ps, auto)
 
 	r.mu.Lock()
@@ -328,6 +358,18 @@ func (r *Registry) State(id string) (State, error) {
 // with ErrIterationRunning if one is already in flight for this session
 // and with ErrOverloaded when the pool queue is full (backpressure).
 func (r *Registry) Iterate(id string) error {
+	return r.iterate(id, "")
+}
+
+// IterateTagged is Iterate with a request tag (typically the
+// X-Request-ID header the cluster router stamped on the request) that
+// is folded into the iteration's obs trace label, so one request can be
+// followed from the router through the shard into the pipeline trace.
+func (r *Registry) IterateTagged(id, tag string) error {
+	return r.iterate(id, tag)
+}
+
+func (r *Registry) iterate(id, tag string) error {
 	s, err := r.get(id)
 	if err != nil {
 		return err
@@ -344,6 +386,7 @@ func (r *Registry) Iterate(id string) error {
 	s.running = true
 	s.errMsg = ""
 	s.cqg = nil
+	s.iterTag = tag
 	s.iterDone = make(chan struct{})
 	s.lastActive = time.Now()
 	s.mu.Unlock()
@@ -606,4 +649,37 @@ func (r *Registry) Shutdown() {
 	<-r.sweeperDone
 	r.teardownAll(sessions, true, false)
 	r.pool.shutdown()
+}
+
+// Kill tears the registry down WITHOUT persisting anything: in-flight
+// iterations are cancelled and waited for, but no final snapshots are
+// written, so disk keeps exactly what earlier iteration-boundary
+// persists made durable — the on-disk state a kill -9 would leave,
+// minus the leaked goroutines. It exists for crash drills (the cluster
+// chaos harness kills whole in-process shards with it) and must never
+// be the production shutdown path.
+func (r *Registry) Kill() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	sessions := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+
+	close(r.stopSweep)
+	<-r.sweeperDone
+	r.teardownAll(sessions, false, false)
+	r.pool.shutdown()
+}
+
+// QueueStats reports the worker pool's shape: jobs accepted but not yet
+// picked up, the queue capacity, and the worker count. The web layer
+// derives its Retry-After hint from these.
+func (r *Registry) QueueStats() (queued, capacity, workers int) {
+	return r.pool.stats()
 }

@@ -51,6 +51,9 @@ var (
 	ErrNoQuestion = errors.New("service: no pending question")
 	// ErrClosed: the session (or the whole registry) has been shut down.
 	ErrClosed = errors.New("service: session closed")
+	// ErrExists: a session with that id already lives here (or has a
+	// snapshot on disk) — CreateWithID and Attach refuse to clobber it.
+	ErrExists = errors.New("service: session id already exists")
 )
 
 // Spec describes how to (re)build a session deterministically from

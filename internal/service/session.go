@@ -48,6 +48,10 @@ type Session struct {
 	cqg        *CQGView
 	errMsg     string
 	lastActive time.Time
+	// iterTag is the request tag (X-Request-ID) of the iterate call that
+	// scheduled the in-flight iteration; the worker folds it into the
+	// iteration's obs trace label and clears it.
+	iterTag string
 	// iterDone is closed by the worker when the in-flight iteration
 	// finishes; teardown waits on it after cancelling.
 	iterDone chan struct{}
@@ -63,6 +67,12 @@ type Question struct {
 	V2      string   `json:"v2,omitempty"`
 	Current float64  `json:"current,omitempty"`
 	Tuples  [][]Cell `json:"tuples,omitempty"`
+	// TupleA/TupleB carry the raw tuple ids a machine client (loadgen's
+	// oracle-backed drivers) needs to answer without parsing the prompt:
+	// both for a T question, TupleA alone for M and O. Not omitempty —
+	// tuple id 0 is valid.
+	TupleA int `json:"tupleA"`
+	TupleB int `json:"tupleB"`
 
 	reply chan Answer
 }
@@ -155,6 +165,18 @@ func (s *Session) refreshCache() {
 
 // runIteration executes one iteration on a pool worker.
 func (s *Session) runIteration() {
+	// Sole owner of the pipeline from here to iterDone: stamp the trace
+	// label with this iteration's request tag (if any) so the span at
+	// /debug/traces names the request that scheduled it.
+	s.mu.Lock()
+	label := s.id
+	if s.iterTag != "" {
+		label += " rid=" + s.iterTag
+		s.iterTag = ""
+	}
+	s.mu.Unlock()
+	s.ps.SetTraceLabel(label)
+
 	var user pipeline.User = &sessionUser{s: s}
 	if s.autoUser != nil {
 		user = s.autoUser
@@ -292,6 +314,7 @@ func (u *sessionUser) AnswerT(a, b dataset.TupleID) (bool, bool) {
 		Kind:   "T",
 		Prompt: "Are " + tupleLabel(a) + " and " + tupleLabel(b) + " the same entity?",
 		Tuples: [][]Cell{u.tupleCells(a), u.tupleCells(b)},
+		TupleA: int(a), TupleB: int(b),
 	})
 	if ans.Skip {
 		return false, false
@@ -317,6 +340,7 @@ func (u *sessionUser) AnswerM(column string, id dataset.TupleID) (float64, bool)
 		Prompt: tupleLabel(id) + " is missing its " + column + " value — what should it be?",
 		Column: column,
 		Tuples: [][]Cell{u.tupleCells(id)},
+		TupleA: int(id),
 	})
 	if ans.Skip || !ans.HasValue {
 		return 0, false
@@ -331,6 +355,7 @@ func (u *sessionUser) AnswerO(column string, id dataset.TupleID, current float64
 		Column:  column,
 		Current: current,
 		Tuples:  [][]Cell{u.tupleCells(id)},
+		TupleA:  int(id),
 	})
 	if ans.Skip {
 		return false, 0, false

@@ -1,0 +1,286 @@
+package web
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"visclean/internal/service"
+)
+
+// newShell is testShell but returns the Server so tests can drive the
+// readiness lifecycle.
+func newShell(t *testing.T, auto bool) (*Server, *service.Registry) {
+	t.Helper()
+	reg := service.NewRegistry(service.Config{
+		MaxSessions: 8,
+		Workers:     2,
+		Logf:        t.Logf,
+	})
+	t.Cleanup(reg.Shutdown)
+	srv := New(Config{
+		Registry: reg,
+		Defaults: service.Spec{Dataset: "D1", Scale: 0.004, Seed: 3, Auto: auto},
+	})
+	return srv, reg
+}
+
+func TestHealthzAndReadyzLifecycle(t *testing.T) {
+	srv, _ := newShell(t, true)
+	mux := srv.Handler()
+
+	// Liveness is unconditional; readiness follows the lifecycle.
+	if rec := doReq(t, mux, http.MethodGet, "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz while starting: %d", rec.Code)
+	}
+	rec := doReq(t, mux, http.MethodGet, "/readyz", "")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "starting") {
+		t.Fatalf("readyz while starting: %d %q", rec.Code, rec.Body.String())
+	}
+
+	srv.SetReady(true)
+	rec = doReq(t, mux, http.MethodGet, "/readyz", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("readyz when ready: %d %q", rec.Code, rec.Body.String())
+	}
+
+	srv.SetDraining()
+	if !srv.Draining() {
+		t.Fatal("Draining() false after SetDraining")
+	}
+	rec = doReq(t, mux, http.MethodGet, "/readyz", "")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("readyz when draining: %d %q", rec.Code, rec.Body.String())
+	}
+	// A draining shard refuses new sessions so the router places them
+	// elsewhere, but keeps serving existing ones.
+	if rec := doReq(t, mux, http.MethodPost, "/api/session", "{}"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("create while draining: %d, want 503", rec.Code)
+	}
+	if rec := doReq(t, mux, http.MethodGet, "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d", rec.Code)
+	}
+}
+
+// TestExportImportRoundTrip is the migration primitive over HTTP: a
+// session exported from one shard and imported into a fresh one must
+// report the identical iteration count, chart and distance-to-truth,
+// and a re-export must yield the identical answer history.
+func TestExportImportRoundTrip(t *testing.T) {
+	srvA, _ := newShell(t, true)
+	srvA.SetReady(true)
+	muxA := srvA.Handler()
+	id := createSession(t, muxA)
+	runAutoIteration(t, muxA, id)
+	before := getState(t, muxA, id)
+
+	rec := doReq(t, muxA, http.MethodPost, "/api/session/"+id+"/export", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("export status %d: %s", rec.Code, rec.Body.String())
+	}
+	snapJSON := rec.Body.String()
+	var snap service.Snapshot
+	if err := json.Unmarshal([]byte(snapJSON), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != id || len(snap.History.Iterations) != 1 {
+		t.Fatalf("snapshot shape: id=%s iterations=%d", snap.ID, len(snap.History.Iterations))
+	}
+	// The exporting shard no longer owns the session.
+	if rec := doReq(t, muxA, http.MethodGet, "/api/session/"+id+"/state", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("state on exporter after export: %d, want 404", rec.Code)
+	}
+
+	srvB, _ := newShell(t, true)
+	srvB.SetReady(true)
+	muxB := srvB.Handler()
+	if rec := doReq(t, muxB, http.MethodPost, "/api/session/import", snapJSON); rec.Code != http.StatusNoContent {
+		t.Fatalf("import status %d: %s", rec.Code, rec.Body.String())
+	}
+	after := getState(t, muxB, id)
+	if after.Iteration != before.Iteration || after.Truth != before.Truth {
+		t.Fatalf("imported state diverged: iter %d→%d, dist %v→%v",
+			before.Iteration, after.Iteration, before.Truth, after.Truth)
+	}
+	if len(after.Chart.Values) != len(before.Chart.Values) {
+		t.Fatalf("chart size changed: %d → %d", len(before.Chart.Values), len(after.Chart.Values))
+	}
+	for i := range after.Chart.Values {
+		if after.Chart.Values[i] != before.Chart.Values[i] || after.Chart.Labels[i] != before.Chart.Labels[i] {
+			t.Fatalf("chart point %d diverged: %s=%v → %s=%v", i,
+				before.Chart.Labels[i], before.Chart.Values[i], after.Chart.Labels[i], after.Chart.Values[i])
+		}
+	}
+
+	// Importing the same snapshot twice must conflict, not clobber.
+	if rec := doReq(t, muxB, http.MethodPost, "/api/session/import", snapJSON); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate import status %d, want 409", rec.Code)
+	}
+
+	// Re-export: the answer history survives the round trip unchanged.
+	rec = doReq(t, muxB, http.MethodPost, "/api/session/"+id+"/export", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("re-export status %d", rec.Code)
+	}
+	var snap2 service.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap2); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := json.Marshal(snap.History)
+	h2, _ := json.Marshal(snap2.History)
+	if string(h1) != string(h2) {
+		t.Fatalf("answer history changed across migration:\n was %s\n now %s", h1, h2)
+	}
+}
+
+// TestExportImportMidIteration exports a session that has acked answers
+// and a parked, unanswered question: the snapshot carries the acked
+// answers as partial history and the import resumes cleanly at the
+// pre-iteration boundary (the parked question was never answered and
+// must not reappear).
+func TestExportImportMidIteration(t *testing.T) {
+	srvA, _ := newShell(t, false)
+	srvA.SetReady(true)
+	muxA := srvA.Handler()
+	id := createSession(t, muxA)
+	if rec := doReq(t, muxA, http.MethodPost, "/api/session/"+id+"/iterate", ""); rec.Code != http.StatusAccepted {
+		t.Fatalf("iterate status %d", rec.Code)
+	}
+	// Answer the first question, then leave the second parked.
+	answerOne(t, muxA, id)
+	waitForQuestion(t, muxA, id)
+
+	rec := doReq(t, muxA, http.MethodPost, "/api/session/"+id+"/export", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mid-iteration export status %d: %s", rec.Code, rec.Body.String())
+	}
+	var snap service.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.History.Iterations) != 0 || len(snap.History.Partial) == 0 {
+		t.Fatalf("mid-iteration snapshot: %d committed, %d partial — want 0 committed, >0 partial",
+			len(snap.History.Iterations), len(snap.History.Partial))
+	}
+
+	srvB, _ := newShell(t, false)
+	srvB.SetReady(true)
+	muxB := srvB.Handler()
+	if rec := doReq(t, muxB, http.MethodPost, "/api/session/import", rec.Body.String()); rec.Code != http.StatusNoContent {
+		t.Fatalf("import status %d: %s", rec.Code, rec.Body.String())
+	}
+	st := getState(t, muxB, id)
+	if st.Running || st.Question != nil || st.Iteration != 0 {
+		t.Fatalf("imported mid-iteration session not at a clean boundary: %+v", st)
+	}
+}
+
+// answerOne waits for a question and acks it with the deterministic
+// chaos policy (confirm T/A, keep O, skip the rest).
+func answerOne(t *testing.T, mux http.Handler, id string) {
+	t.Helper()
+	q := waitForQuestion(t, mux, id)
+	var body string
+	switch q.Kind {
+	case "T", "A":
+		body = `{"yes":true}`
+	case "O":
+		body = `{"yes":false}`
+	default:
+		body = `{"skip":true}`
+	}
+	rec := doReq(t, mux, http.MethodPost, "/api/session/"+id+"/answer", body)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("answer status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func waitForQuestion(t *testing.T, mux http.Handler, id string) *service.Question {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := getState(t, mux, id); s.Question != nil {
+			return s.Question
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("no question appeared")
+	return nil
+}
+
+func TestCreateWithPinnedID(t *testing.T) {
+	srv, _ := newShell(t, true)
+	srv.SetReady(true)
+	mux := srv.Handler()
+	rec := doReq(t, mux, http.MethodPost, "/api/session", `{"id":"pin-web-1"}`)
+	if rec.Code != http.StatusCreated || !strings.Contains(rec.Body.String(), "pin-web-1") {
+		t.Fatalf("pinned create: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := doReq(t, mux, http.MethodPost, "/api/session", `{"id":"pin-web-1"}`); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate pinned create: %d, want 409", rec.Code)
+	}
+}
+
+// TestRetryAfterFromQueueDepth: 503s advertise a Retry-After derived
+// from pool pressure — an integer in [1, 30], not the old hardcoded 2.
+func TestRetryAfterFromQueueDepth(t *testing.T) {
+	reg := service.NewRegistry(service.Config{
+		MaxSessions: 1,
+		Workers:     1,
+		Logf:        t.Logf,
+	})
+	t.Cleanup(reg.Shutdown)
+	srv := New(Config{
+		Registry: reg,
+		Defaults: service.Spec{Dataset: "D1", Scale: 0.004, Seed: 3, Auto: true},
+	})
+	srv.SetReady(true)
+	mux := srv.Handler()
+	createSession(t, mux)
+	rec := doReq(t, mux, http.MethodPost, "/api/session", "{}")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity create: %d, want 503", rec.Code)
+	}
+	ra := rec.Header().Get("Retry-After")
+	n, err := strconv.Atoi(ra)
+	if err != nil || n < 1 || n > 30 {
+		t.Fatalf("Retry-After %q not an integer in [1,30]: %v", ra, err)
+	}
+}
+
+// TestRequestIDInTraceLabel: an X-Request-ID sent by the router must
+// surface in the iteration's trace label so cross-shard requests can be
+// correlated from /debug/traces.
+func TestRequestIDInTraceLabel(t *testing.T) {
+	enableObs(t)
+	srv, _ := newShell(t, true)
+	srv.SetReady(true)
+	mux := srv.Handler()
+	id := createSession(t, mux)
+
+	req := httptest.NewRequest(http.MethodPost, "/api/session/"+id+"/iterate", nil)
+	req.Header.Set("X-Request-ID", "rid-test-42")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("iterate status %d", rec.Code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := getState(t, mux, id); !s.Running {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	tr := doReq(t, mux, http.MethodGet, "/debug/traces", "")
+	if tr.Code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", tr.Code)
+	}
+	if !strings.Contains(tr.Body.String(), "rid=rid-test-42") {
+		t.Fatalf("trace labels missing request id: %s", tr.Body.String())
+	}
+}

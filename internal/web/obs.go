@@ -1,4 +1,4 @@
-package main
+package web
 
 // Operational endpoints (DESIGN.md §5, README "Operating viscleanweb"):
 // /metrics exposes the obs registry in Prometheus text format,
@@ -14,12 +14,12 @@ import (
 	"visclean/internal/obs"
 )
 
-func (s *webServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.Default.WritePrometheus(w)
 }
 
-func (s *webServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, obs.DefaultTracer.Recent(64))
 }
 

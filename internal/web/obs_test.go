@@ -1,4 +1,4 @@
-package main
+package web
 
 import (
 	"encoding/json"
@@ -25,7 +25,7 @@ func enableObs(t *testing.T) {
 	})
 }
 
-func runAutoIteration(t *testing.T, mux *http.ServeMux, id string) {
+func runAutoIteration(t *testing.T, mux http.Handler, id string) {
 	t.Helper()
 	rec := doReq(t, mux, http.MethodPost, "/api/session/"+id+"/iterate", "")
 	if rec.Code != http.StatusAccepted {
@@ -132,11 +132,11 @@ func TestPprofGatedByFlag(t *testing.T) {
 	reg := service.NewRegistry(service.Config{MaxSessions: 1, Workers: 1, Logf: t.Logf})
 	t.Cleanup(reg.Shutdown)
 
-	off := newMux(&webServer{reg: reg})
+	off := New(Config{Registry: reg}).Handler()
 	if rec := doReq(t, off, http.MethodGet, "/debug/pprof/", ""); rec.Code != http.StatusNotFound {
 		t.Fatalf("pprof off: status %d, want 404", rec.Code)
 	}
-	on := newMux(&webServer{reg: reg, pprof: true})
+	on := New(Config{Registry: reg, Pprof: true}).Handler()
 	if rec := doReq(t, on, http.MethodGet, "/debug/pprof/", ""); rec.Code != http.StatusOK {
 		t.Fatalf("pprof on: status %d, want 200", rec.Code)
 	}

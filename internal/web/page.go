@@ -1,4 +1,4 @@
-package main
+package web
 
 // indexHTML is the single-page GUI: progressive chart, composite
 // question context, and answer controls — the web edition of the

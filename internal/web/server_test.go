@@ -1,4 +1,4 @@
-package main
+package web
 
 import (
 	"encoding/json"
@@ -11,9 +11,9 @@ import (
 	"visclean/internal/service"
 )
 
-// testShell builds a webServer over a real registry with small default
+// testShell builds a Server over a real registry with small default
 // sessions (D1 at scale 0.004, ~55 entities).
-func testShell(t *testing.T, auto bool) (*http.ServeMux, *service.Registry) {
+func testShell(t *testing.T, auto bool) (http.Handler, *service.Registry) {
 	t.Helper()
 	reg := service.NewRegistry(service.Config{
 		MaxSessions: 8,
@@ -21,14 +21,15 @@ func testShell(t *testing.T, auto bool) (*http.ServeMux, *service.Registry) {
 		Logf:        t.Logf,
 	})
 	t.Cleanup(reg.Shutdown)
-	srv := &webServer{
-		reg:      reg,
-		defaults: service.Spec{Dataset: "D1", Scale: 0.004, Seed: 3, Auto: auto},
-	}
-	return newMux(srv), reg
+	srv := New(Config{
+		Registry: reg,
+		Defaults: service.Spec{Dataset: "D1", Scale: 0.004, Seed: 3, Auto: auto},
+	})
+	srv.SetReady(true)
+	return srv.Handler(), reg
 }
 
-func doReq(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
+func doReq(t *testing.T, mux http.Handler, method, path, body string) *httptest.ResponseRecorder {
 	t.Helper()
 	var req *http.Request
 	if body == "" {
@@ -41,7 +42,7 @@ func doReq(t *testing.T, mux *http.ServeMux, method, path, body string) *httptes
 	return rec
 }
 
-func createSession(t *testing.T, mux *http.ServeMux) string {
+func createSession(t *testing.T, mux http.Handler) string {
 	t.Helper()
 	rec := doReq(t, mux, http.MethodPost, "/api/session", "{}")
 	if rec.Code != http.StatusCreated {
@@ -59,7 +60,7 @@ func createSession(t *testing.T, mux *http.ServeMux) string {
 	return out.ID
 }
 
-func getState(t *testing.T, mux *http.ServeMux, id string) stateResponse {
+func getState(t *testing.T, mux http.Handler, id string) stateResponse {
 	t.Helper()
 	rec := doReq(t, mux, http.MethodGet, "/api/session/"+id+"/state", "")
 	if rec.Code != http.StatusOK {
@@ -203,10 +204,10 @@ func TestCreateOverridesSpec(t *testing.T) {
 func TestSessionCapacity(t *testing.T) {
 	reg := service.NewRegistry(service.Config{MaxSessions: 1, Workers: 1, Logf: t.Logf})
 	t.Cleanup(reg.Shutdown)
-	mux := newMux(&webServer{
-		reg:      reg,
-		defaults: service.Spec{Dataset: "D1", Scale: 0.004, Seed: 3},
-	})
+	mux := New(Config{
+		Registry: reg,
+		Defaults: service.Spec{Dataset: "D1", Scale: 0.004, Seed: 3},
+	}).Handler()
 	createSession(t, mux)
 	rec := doReq(t, mux, http.MethodPost, "/api/session", "{}")
 	if rec.Code != http.StatusServiceUnavailable {

@@ -11,11 +11,18 @@
 # end-to-end progression smoke. All variants are cross-checked
 # bit-identical inside the benchmarks themselves.
 #
-# Usage: scripts/bench.sh [output.json]
+# After the go benches, cmd/loadgen storms a self-contained two-shard
+# cluster (router + shared snapshot dir, all in one process) with 200
+# concurrent oracle-backed sessions and writes BENCH_load.json: answer
+# and iterate latency percentiles, 503 rejects, retries, per-shard
+# session placement and the router's migration counters (DESIGN.md §9).
+#
+# Usage: scripts/bench.sh [output.json] [load-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_pr3.json}"
+loadout="${2:-BENCH_load.json}"
 
 raw=$(go test -run xxx -bench 'BenchmarkAnnotate|BenchmarkIterationPhases|BenchmarkFig10' -benchtime=1x -count=1 . 2>&1)
 echo "$raw"
@@ -45,3 +52,7 @@ END {
 }
 '
 echo "wrote $out"
+
+echo "== cluster load: 200 concurrent sessions over 2 in-process shards"
+go run ./cmd/loadgen -self 2 -sessions 200 -concurrency 200 -iters 2 -out "$loadout"
+echo "wrote $loadout"

@@ -26,6 +26,14 @@ go test -race -count=1 -run 'TestDeterminism|TestIncremental' ./internal/pipelin
 echo "== chaos suite: fault-injection kill-restart (-race, short mode)"
 go test -race -short -count=1 -run 'TestChaos' ./internal/service/
 
+echo "== cluster smoke: 2 shards + consistent-hash router (-race, short mode)"
+go test -race -short -count=1 -run 'TestClusterSmoke' ./internal/cluster/
+
+echo "== loadgen smoke: self-contained cluster, 8 oracle-backed sessions"
+loadout=$(mktemp)
+go run ./cmd/loadgen -self 2 -sessions 8 -concurrency 8 -iters 1 -out "$loadout"
+rm -f "$loadout"
+
 echo "== benchmark smoke (Fig 10 + Annotate, 1 iteration)"
 smoke=$(go test -run xxx -bench 'BenchmarkFig10|BenchmarkAnnotate/Workers1$' -benchtime=1x .)
 echo "$smoke"
