@@ -1,0 +1,67 @@
+package erg
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint hashes the graph's full logical content — vertex set, edge
+// list (in insertion order, every payload field, floats by exact bit
+// pattern), and vertex repairs — into one uint64. Two graphs built by
+// equivalent code paths fingerprint equal iff they are field-identical,
+// which is how the detect-equivalence suite compares an incrementally
+// maintained ERG against a full rebuild without materializing both.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { wu(math.Float64bits(f)) }
+	wb := func(b bool) {
+		if b {
+			wu(1)
+		} else {
+			wu(0)
+		}
+	}
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	wu(uint64(len(g.vertices)))
+	for _, v := range g.vertices {
+		wu(uint64(v))
+	}
+	wu(uint64(len(g.edges)))
+	for _, e := range g.edges {
+		wu(uint64(e.A))
+		wu(uint64(e.B))
+		wb(e.HasT)
+		wf(e.PT)
+		wb(e.HasA)
+		wf(e.PA)
+		ws(e.ACol)
+		ws(e.AV1)
+		ws(e.AV2)
+		wf(e.Benefit)
+	}
+	reps := g.Repairs()
+	wu(uint64(len(reps)))
+	for _, r := range reps {
+		wu(uint64(r.ID))
+		wu(uint64(r.Kind))
+		wf(r.Current)
+		wf(r.Suggested)
+		wf(r.Score)
+		wu(uint64(len(r.Neighbors)))
+		for _, n := range r.Neighbors {
+			wu(uint64(n))
+		}
+		wf(r.Benefit)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,49 @@
+package erg
+
+import "testing"
+
+// TestFingerprintStableAndSensitive: two identically built graphs hash
+// equal, and any single field change — vertex set, edge payload, repair
+// payload, benefit — moves the hash. The detect-equivalence suite leans
+// on this to compare whole ERGs in one word.
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	base := fig4(t).Fingerprint()
+	if again := fig4(t).Fingerprint(); again != base {
+		t.Fatalf("identical graphs hash differently: %016x vs %016x", base, again)
+	}
+
+	mutants := map[string]func(*Graph){
+		"edge benefit":   func(g *Graph) { g.edges[0].Benefit += 0.001 },
+		"edge PT":        func(g *Graph) { g.edges[1].PT += 0.001 },
+		"edge PA":        func(g *Graph) { g.edges[2].PA += 0.001 },
+		"edge A-value":   func(g *Graph) { g.edges[0].AV1 = "X" },
+		"repair value":   func(g *Graph) { r := g.Repair(7); r.Suggested++ },
+		"repair benefit": func(g *Graph) { r := g.Repair(2); r.Benefit += 0.001 },
+	}
+	for name, mutate := range mutants {
+		g := fig4(t)
+		mutate(g)
+		if g.Fingerprint() == base {
+			t.Errorf("%s change left the fingerprint unchanged", name)
+		}
+	}
+
+	noEdge := MustNew(ids(1, 2, 3, 7, 8))
+	if noEdge.Fingerprint() == base {
+		t.Error("empty graph hashes like fig4")
+	}
+	moreVerts := MustNew(ids(1, 2, 3, 7, 8, 9))
+	if moreVerts.Fingerprint() == noEdge.Fingerprint() {
+		t.Error("extra vertex left the fingerprint unchanged")
+	}
+
+	// Concatenation ambiguity: the A-value strings are length-prefixed,
+	// so shifting a boundary must change the hash.
+	a := MustNew(ids(1, 2))
+	_ = a.AddEdge(Edge{A: 1, B: 2, HasA: true, AV1: "ab", AV2: "c"})
+	b := MustNew(ids(1, 2))
+	_ = b.AddEdge(Edge{A: 1, B: 2, HasA: true, AV1: "a", AV2: "bc"})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("string boundary shift left the fingerprint unchanged")
+	}
+}

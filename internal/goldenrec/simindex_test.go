@@ -1,0 +1,84 @@
+package goldenrec
+
+import (
+	"reflect"
+	"testing"
+
+	"visclean/internal/dataset"
+)
+
+// simIndexTable exercises every branch of the SimIndex filter: values in
+// one cluster, values spread over two clusters, values outside every
+// cluster, and similar pairs whose instances never cross clusters.
+func simIndexTable(t testing.TB) (*dataset.Table, []dataset.TupleID) {
+	t.Helper()
+	tbl := dataset.NewTable(dataset.Schema{
+		{Name: "Title", Kind: dataset.String},
+		{Name: "Venue", Kind: dataset.String},
+	})
+	venues := []string{
+		"ACM SIGMOD", "SIGMOD Conf.", "SIGMOD", "SIGMOD'13", "SIGMOD'13",
+		"VLDB", "VLDB Conf.", "Very Large Data Bases", "ICDE", "IEEE ICDE",
+	}
+	ids := make([]dataset.TupleID, len(venues))
+	for i, v := range venues {
+		ids[i] = tbl.MustAppend([]dataset.Value{dataset.Str("p"), dataset.Str(v)})
+	}
+	return tbl, ids
+}
+
+// TestSimIndexMatchesCandidates is the equivalence proof referenced from
+// simindex.go: one SimIndex, built once, must reproduce the package-level
+// Candidates exactly for every clustering it is later queried with —
+// clusterings grow, merge and shrink as cleaning progresses, while the
+// join inputs stay fixed.
+func TestSimIndexMatchesCandidates(t *testing.T) {
+	tbl, ids := simIndexTable(t)
+	venue := tbl.ColumnIndex("Venue")
+	const threshold = 0.2
+	ix := NewSimIndex(tbl, venue, threshold)
+
+	clusterings := [][][]dataset.TupleID{
+		nil, // empty clustering: Strategy 1 empty, Strategy 2 has no owners
+		{{ids[0], ids[1], ids[2]}, {ids[3], ids[4]}},
+		{{ids[0], ids[1], ids[2], ids[3], ids[4]}, {ids[5], ids[6]}, {ids[8]}},
+		{{ids[0]}, {ids[1]}, {ids[2]}, {ids[3]}, {ids[4]}, {ids[5]}, {ids[6]}, {ids[7]}, {ids[8]}, {ids[9]}},
+		{ids}, // one cluster holding every tuple
+		{{ids[5], ids[8]}, {ids[6], ids[9]}},
+	}
+	for ci, clusters := range clusterings {
+		want := Candidates(tbl, clusters, venue, threshold)
+		got := ix.Candidates(tbl, clusters)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("clustering %d: SimIndex diverges from Candidates:\ngot  %+v\nwant %+v", ci, got, want)
+		}
+	}
+}
+
+// TestSimIndexSingletonSameClusterFiltered pins the Strategy 2 ownership
+// condition: a similar value pair whose instances all live in one shared
+// cluster is not a cross-cluster candidate (it is Strategy 1's job), but
+// moving one value to its own cluster makes it one.
+func TestSimIndexSingletonSameClusterFiltered(t *testing.T) {
+	tbl, ids := simIndexTable(t)
+	venue := tbl.ColumnIndex("Venue")
+	ix := NewSimIndex(tbl, venue, 0.2)
+
+	same := [][]dataset.TupleID{{ids[5], ids[6]}} // VLDB + VLDB Conf. together
+	for _, c := range ix.Candidates(tbl, same) {
+		if c.Prob != ClusterConfidence {
+			t.Errorf("same-cluster pair surfaced as cross-cluster candidate: %+v", c)
+		}
+	}
+
+	split := [][]dataset.TupleID{{ids[5]}, {ids[6]}}
+	found := false
+	for _, c := range ix.Candidates(tbl, split) {
+		if c.V1 == "VLDB" && c.V2 == "VLDB Conf." && c.Prob != ClusterConfidence {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("split clusters did not surface the cross-cluster pair")
+	}
+}

@@ -4,8 +4,9 @@
 // non-measure attributes; before this package each of them tokenized the
 // whole table privately, paying the dominant detection cost twice per
 // iteration. One Index is built per table (the pipeline caches it for
-// the session: token sets exclude the measure column, which is the only
-// column cleaning ever rewrites, so the index never goes stale).
+// the session: token sets exclude the measure column, so measure repairs
+// never stale it; attribute standardization does change the effective
+// cell text, which the pipeline pushes in through ResetRows).
 //
 // This is reproduction infrastructure — the paper's kNN-based imputation
 // and repair (§III) do not specify an index; this one exists so the
@@ -19,11 +20,20 @@ import (
 	"visclean/internal/stringsim"
 )
 
-// Index holds per-row token sets for similarity search. Immutable after
-// construction; safe for concurrent Nearest calls.
+// Canon maps a cell to the text that gets tokenized. The pipeline uses
+// it to tokenize attribute cells through the session's value
+// standardizers, so rows whose raw values are approved synonyms share
+// tokens. A nil Canon (or a nil result path) falls back to
+// Value.String(), the historical behaviour.
+type Canon func(col int, v dataset.Value) string
+
+// Index holds per-row token sets for similarity search. Safe for
+// concurrent Nearest calls between mutations; ResetRows must not race
+// with readers.
 type Index struct {
 	table   *dataset.Table
 	skipCol int
+	canon   Canon
 	tokens  []map[string]struct{}
 }
 
@@ -31,25 +41,48 @@ type Index struct {
 // column, so a row's own — possibly corrupt — measure value never
 // influences which neighbours are chosen).
 func NewIndex(t *dataset.Table, skipCol int) *Index {
-	ix := &Index{table: t, skipCol: skipCol}
+	return NewIndexCanon(t, skipCol, nil)
+}
+
+// NewIndexCanon is NewIndex with every cell routed through canon before
+// tokenization.
+func NewIndexCanon(t *dataset.Table, skipCol int, canon Canon) *Index {
+	ix := &Index{table: t, skipCol: skipCol, canon: canon}
 	ix.tokens = make([]map[string]struct{}, t.NumRows())
 	for i := 0; i < t.NumRows(); i++ {
-		ix.tokens[i] = rowTokens(t, i, skipCol)
+		ix.tokens[i] = ix.rowTokens(i)
 	}
 	return ix
 }
 
-func rowTokens(t *dataset.Table, row, skipCol int) map[string]struct{} {
+func (ix *Index) rowTokens(row int) map[string]struct{} {
 	set := make(map[string]struct{})
-	for c := 0; c < t.NumCols(); c++ {
-		if c == skipCol {
+	for c := 0; c < ix.table.NumCols(); c++ {
+		if c == ix.skipCol {
 			continue
 		}
-		for _, tok := range stringsim.Tokenize(t.Get(row, c).String()) {
+		text := ""
+		if ix.canon != nil {
+			text = ix.canon(c, ix.table.Get(row, c))
+		} else {
+			text = ix.table.Get(row, c).String()
+		}
+		for _, tok := range stringsim.Tokenize(text) {
 			set[tok] = struct{}{}
 		}
 	}
 	return set
+}
+
+// ResetRows re-tokenizes the given rows against the table's (and canon's)
+// current state. The pipeline calls it when an approved attribute synonym
+// changes the canonical form of a value those rows carry.
+func (ix *Index) ResetRows(rows []int) {
+	for _, r := range rows {
+		if r >= 0 && r < len(ix.tokens) {
+			ix.tokens[r] = ix.rowTokens(r)
+		}
+	}
 }
 
 // Table returns the indexed table.

@@ -46,6 +46,35 @@ func DetectWithIndex(t *dataset.Table, yCol, k, maxResults int, ix *knn.Index) [
 	if k <= 0 {
 		k = DefaultK
 	}
+	out := Scores(t, yCol, k)
+	if maxResults > 0 && len(out) > maxResults {
+		out = out[:maxResults]
+	}
+	// Repair suggestions are expensive (kNN over the whole table), so
+	// compute them only for the detections actually returned.
+	if ix == nil {
+		ix = knn.NewIndex(t, yCol)
+	}
+	im := impute.NewWithIndex(ix, k)
+	for i := range out {
+		if s, ok := im.SuggestFor(out[i].ID); ok {
+			out[i].Repair = s.Value
+			out[i].HasFix = true
+		}
+	}
+	return out
+}
+
+// Scores scores every non-null value of column yCol and returns all
+// detections in descending score order (ties by tuple id), without
+// repair suggestions (Repair/HasFix are zero). Callers that only need
+// the score distribution — e.g. the pipeline's anomaly-gate median —
+// use this and compute repairs lazily for the detections they keep.
+// k <= 0 selects DefaultK.
+func Scores(t *dataset.Table, yCol, k int) []Detection {
+	if k <= 0 {
+		k = DefaultK
+	}
 	vals, ids := t.NumericColumn(yCol)
 	n := len(vals)
 	if n < 2 {
@@ -76,21 +105,6 @@ func DetectWithIndex(t *dataset.Table, yCol, k, maxResults int, ix *knn.Index) [
 		}
 		return out[a].ID < out[b].ID
 	})
-	if maxResults > 0 && len(out) > maxResults {
-		out = out[:maxResults]
-	}
-	// Repair suggestions are expensive (kNN over the whole table), so
-	// compute them only for the detections actually returned.
-	if ix == nil {
-		ix = knn.NewIndex(t, yCol)
-	}
-	im := impute.NewWithIndex(ix, k)
-	for i := range out {
-		if s, ok := im.SuggestFor(out[i].ID); ok {
-			out[i].Repair = s.Value
-			out[i].HasFix = true
-		}
-	}
 	return out
 }
 

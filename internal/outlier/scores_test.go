@@ -1,0 +1,62 @@
+package outlier
+
+import (
+	"testing"
+
+	"visclean/internal/dataset"
+	"visclean/internal/knn"
+)
+
+// TestScoresIsDetectWithoutTruncation pins the split introduced for the
+// incremental detect path: Scores returns the full score distribution,
+// and Detect's output is exactly its maxResults prefix with repairs
+// attached.
+func TestScoresIsDetectWithoutTruncation(t *testing.T) {
+	tbl := citationsTable(t, 174, 1740, 174, 15, 13, 13, 55, 42, 44)
+	const k = 3
+	all := Scores(tbl, 1, k)
+	if len(all) != 9 {
+		t.Fatalf("Scores returned %d detections, want one per non-null value", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		prev, cur := all[i-1], all[i]
+		if cur.Score > prev.Score || (cur.Score == prev.Score && cur.ID < prev.ID) {
+			t.Fatalf("Scores not ordered at %d: %+v then %+v", i, prev, cur)
+		}
+	}
+	for _, d := range all {
+		if d.HasFix {
+			t.Fatalf("Scores attached a repair: %+v", d)
+		}
+	}
+
+	ix := knn.NewIndex(tbl, 1)
+	dets := DetectWithIndex(tbl, 1, k, 4, ix)
+	if len(dets) != 4 {
+		t.Fatalf("Detect returned %d, want 4", len(dets))
+	}
+	for i, d := range dets {
+		if d.ID != all[i].ID || d.Value != all[i].Value || d.Score != all[i].Score {
+			t.Fatalf("Detect[%d] = %+v diverges from Scores[%d] = %+v", i, d, i, all[i])
+		}
+	}
+}
+
+// TestScoresSkipsNulls: null measure cells are not scored.
+func TestScoresSkipsNulls(t *testing.T) {
+	tbl := citationsTable(t, 174, 1740, 174)
+	tbl.MustAppend([]dataset.Value{dataset.Str("missing"), dataset.Null(dataset.Float)})
+	got := Scores(tbl, 1, 2)
+	if len(got) != 3 {
+		t.Fatalf("Scores = %d, want 3", len(got))
+	}
+	for _, d := range got {
+		v, ok := tbl.GetByID(d.ID, 1)
+		if !ok {
+			t.Fatalf("scored unknown tuple: %+v", d)
+		}
+		if _, ok := v.Float(); !ok {
+			t.Fatalf("null cell scored: %+v", d)
+		}
+	}
+}

@@ -66,6 +66,11 @@ type deltaPricer struct {
 	posting map[string]map[string][]int
 	rawRep  map[string]map[string]string
 
+	// splitTouched[gi] marks base groups containing an endpoint of a
+	// user cannot-link. T-hypothesis fast paths (see price) are only
+	// sound for groups no cannot-link touches.
+	splitTouched []bool
+
 	builder  *em.ClusterBuilder
 	yNumeric bool
 }
@@ -137,6 +142,16 @@ func (s *Session) newDeltaPricer(base *vis.Data) *deltaPricer {
 		p.posting[name] = lists
 	}
 
+	p.splitTouched = make([]bool, len(p.groups))
+	for _, sp := range s.split {
+		if gi, ok := p.groupOf[sp.A]; ok {
+			p.splitTouched[gi] = true
+		}
+		if gi, ok := p.groupOf[sp.B]; ok {
+			p.splitTouched[gi] = true
+		}
+	}
+
 	p.builder = em.NewClusterBuilder(s.table, s.mergeList, em.ClusterConfig{
 		Threshold: s.cfg.ClusterThreshold,
 		Confirmed: s.confirmed,
@@ -178,6 +193,69 @@ func (p *deltaPricer) price(h benefit.Hypothesis) (float64, bool) {
 		return p.eval(removed, regrouped, p.s.stdOverride(changes), nil)
 
 	case benefit.TConfirm, benefit.TSplit:
+		// Fast paths that skip the union-find rebuild entirely. Each is
+		// provably partition-exact (see DESIGN.md §10 for the arguments;
+		// the pricer-equivalence suite enforces bit-identity):
+		//
+		//   - a cannot-link between tuples already in different base
+		//     clusters blocks nothing — had any merge been newly
+		//     blocked, its first occurrence would require the two
+		//     trajectories to unite, contradicting their distinct final
+		//     groups. Partition unchanged.
+		//   - a must-link inside one base cluster commutes with the
+		//     merges that formed that cluster: the early union never
+		//     introduces a block (a cannot-link between any two of the
+		//     cluster's parts or absorbed groups would have prevented
+		//     the cluster from forming). Partition unchanged; only the
+		//     implied A-equations' posting-dirty groups re-resolve.
+		//   - a must-link across two base clusters neither touched by
+		//     any cannot-link is exactly their two-group union: any
+		//     additional merge into the combined group would need a
+		//     blocked/unblocked decision to flip, which requires a
+		//     cannot-link endpoint inside one of the two groups.
+		giA, okA := p.groupOf[h.Pair.A]
+		giB, okB := p.groupOf[h.Pair.B]
+		if okA && okB {
+			if h.Kind == benefit.TSplit && giA != giB {
+				return p.eval(nil, nil, p.s.std, nil)
+			}
+			if h.Kind == benefit.TConfirm {
+				changes := p.s.tPairChanges(h.Pair)
+				postDirty, ok := p.postingDirty(changes)
+				if !ok {
+					return 0, false
+				}
+				std := p.s.std
+				if override := p.s.stdOverride(changes); override != nil {
+					std = override
+				}
+				if giA == giB {
+					removed, regrouped := p.sameGroups(postDirty)
+					return p.eval(removed, regrouped, std, nil)
+				}
+				if !p.splitTouched[giA] && !p.splitTouched[giB] {
+					merged := make([]dataset.TupleID, 0, len(p.groups[giA])+len(p.groups[giB]))
+					merged = append(merged, p.groups[giA]...)
+					merged = append(merged, p.groups[giB]...)
+					sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+					lo, hi := giA, giB
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					removed := []int{lo, hi}
+					regrouped := [][]dataset.TupleID{merged}
+					for gi := range postDirty {
+						if gi == giA || gi == giB {
+							continue
+						}
+						removed = append(removed, gi)
+						regrouped = append(regrouped, p.groups[gi])
+					}
+					return p.eval(removed, regrouped, std, nil)
+				}
+			}
+		}
+
 		var cl *em.Clusters
 		var changes []stdChange
 		if h.Kind == benefit.TConfirm {

@@ -65,6 +65,9 @@ func (s *Session) RunIterationCtx(ctx context.Context, user User) (Report, error
 	start = time.Now()
 	qs := s.detectQuestions()
 	rep.Timings.Detect = time.Since(start)
+	rep.DetectAccepts = s.lastDetect.accepts
+	rep.DetectFallbacks = s.lastDetect.fallbacks
+	rep.DetectFull = s.lastDetect.full
 
 	if s.cfg.Selector == SelectSingle {
 		if err := s.runSingleIteration(ctx, user, qs, before, &rep); err != nil {
@@ -136,13 +139,29 @@ func (s *Session) DistToTruth() (float64, error) {
 }
 
 // detectQuestions runs the four detectors of §IV (framework step 2).
+// Detection is pure: it reads session state but never mutates it, so a
+// crash or cancellation between detect and commit leaves nothing to
+// diverge on replay, and calling it repeatedly (equivalence suites,
+// BuildAnnotatedERG) is side-effect-free. The incremental path (see
+// detectdelta.go) serves the same questions from maintained structures;
+// Config.NoIncrementalDetect restores the full per-iteration rebuild.
 func (s *Session) detectQuestions() questionSet {
 	var qs questionSet
+	s.lastDetect = detectStats{}
 
 	// Q_T: uncertain candidate pairs (active learning, §IV) — pairs with
 	// probability close to 0.5. Uses the probability cache refreshed at
 	// the last retrain instead of re-running the forest.
 	qs.T = s.uncertainPairs(s.cfg.MaxT, 0.15, 0.9)
+
+	d := s.detector()
+	if d == nil {
+		s.lastDetect.full = true
+	}
+	ix := s.knnIdx()
+	if d != nil {
+		d.sync(ix)
+	}
 
 	// Q_A: Algorithm 1 over the current clusters, per A-column.
 	// Singleton clusters participate too: Strategy 2's cross-cluster
@@ -153,7 +172,13 @@ func (s *Session) detectQuestions() questionSet {
 	for _, c := range s.aColumns {
 		name := schema[c].Name
 		st := s.std[name]
-		for _, cand := range goldenrec.Candidates(s.table, groups, c, s.cfg.SimJoinThreshold) {
+		var cands []goldenrec.Candidate
+		if d != nil {
+			cands = d.aCandidates(groups, c, s.cfg.SimJoinThreshold)
+		} else {
+			cands = goldenrec.Candidates(s.table, groups, c, s.cfg.SimJoinThreshold)
+		}
+		for _, cand := range cands {
 			if len(qs.A) >= s.cfg.MaxA {
 				break
 			}
@@ -175,43 +200,81 @@ func (s *Session) detectQuestions() questionSet {
 
 	// Q_M: kNN imputation suggestions for missing measure cells. The
 	// token index is shared with the outlier repairer below and cached
-	// for the session (tokens exclude the measure column, the only one
-	// cleaning rewrites).
-	ix := s.knnIdx()
-	im := impute.NewWithIndex(ix, s.cfg.ImputeK)
-	for _, sug := range im.SuggestAllMissing() {
+	// for the session; the incremental path additionally caches each
+	// tuple's ranked neighbour list across iterations.
+	var suggest func(id dataset.TupleID) (impute.Suggestion, bool)
+	if d != nil {
+		suggest = d.suggestFor
+	} else {
+		suggest = impute.NewWithIndex(ix, s.cfg.ImputeK).SuggestFor
+	}
+	for _, id := range s.table.MissingIDs(s.yCol) {
 		if len(qs.M) >= s.cfg.MaxM {
 			break
 		}
-		if _, done := s.answeredM[sug.ID]; done {
+		if _, done := s.answeredM[id]; done {
 			continue
 		}
-		qs.M = append(qs.M, sug)
+		if sug, ok := suggest(id); ok {
+			qs.M = append(qs.M, sug)
+		}
 	}
 
-	// Q_O: top kNN outlier scores.
-	dets := outlier.DetectWithIndex(s.table, s.yCol, s.cfg.ImputeK, s.cfg.MaxO*3, ix)
+	// Q_O: top kNN outlier scores. The anomaly gate's median is taken
+	// over the full score distribution; repairs are computed lazily for
+	// the detections actually emitted. The outlier detector clamps its k
+	// below ImputeK on degenerate tables — mirror that clamp so the
+	// suggested repairs match outlier.DetectWithIndex exactly.
+	dets := outlier.Scores(s.table, s.yCol, s.cfg.ImputeK)
 	med := medianScore(dets)
+	kRep := s.cfg.ImputeK
+	if len(dets) > 0 && kRep >= len(dets) {
+		kRep = len(dets) - 1
+	}
+	oSuggest := suggest
+	if kRep != s.cfg.ImputeK {
+		if d != nil {
+			oSuggest = func(id dataset.TupleID) (impute.Suggestion, bool) {
+				return d.suggestForK(id, kRep)
+			}
+		} else {
+			imO := impute.NewWithIndex(ix, kRep)
+			oSuggest = imO.SuggestFor
+		}
+	}
+	qs.O = pickOQuestions(dets, med, s.answeredO, s.cfg.MaxO, oSuggest)
+	return qs
+}
+
+// pickOQuestions selects the O-questions from the scored detections
+// (sorted by descending score): genuinely anomalous values up to the
+// cap, re-asking an already-answered cell only when it is extremely
+// anomalous — the earlier answer was probably wrong (Exp-3's
+// wrong-label recovery: a couple of extra questions). Pure: the
+// answered set is only read; re-answers overwrite on apply.
+func pickOQuestions(dets []outlier.Detection, med float64, answered map[dataset.TupleID]struct{}, maxO int, suggest func(dataset.TupleID) (impute.Suggestion, bool)) []outlier.Detection {
+	var out []outlier.Detection
 	for _, d := range dets {
-		if len(qs.O) >= s.cfg.MaxO {
+		if len(out) >= maxO {
 			break
 		}
-		// Only genuinely anomalous values are worth a question.
+		// Only genuinely anomalous values are worth a question; scores
+		// are sorted descending, so the first miss ends the scan.
 		if med > 0 && d.Score < 5*med {
-			continue
+			break
 		}
-		if _, done := s.answeredO[d.ID]; done {
-			// Re-ask an already-answered cell only when it is extremely
-			// anomalous — the earlier answer was probably wrong (Exp-3's
-			// wrong-label recovery: a couple of extra questions).
+		if _, done := answered[d.ID]; done {
 			if med <= 0 || d.Score < 20*med {
 				continue
 			}
-			delete(s.answeredO, d.ID)
 		}
-		qs.O = append(qs.O, d)
+		if sug, ok := suggest(d.ID); ok {
+			d.Repair = sug.Value
+			d.HasFix = true
+		}
+		out = append(out, d)
 	}
-	return qs
+	return out
 }
 
 // uncertainPairs ranks unlabeled candidates by |p−0.5| ascending from
@@ -251,16 +314,25 @@ func (s *Session) uncertainPairs(n int, lo, hi float64) []em.ScoredPair {
 	return scored
 }
 
+// medianScore is the true median of the detections' scores: for
+// even-length inputs the mean of the two middle elements, not the upper
+// one. Callers pass the full score distribution — a median over a
+// top-scores truncation would estimate the tail, not the population,
+// and skew the 5×median anomaly gate.
 func medianScore(dets []outlier.Detection) float64 {
-	if len(dets) == 0 {
+	n := len(dets)
+	if n == 0 {
 		return 0
 	}
-	scores := make([]float64, len(dets))
+	scores := make([]float64, n)
 	for i, d := range dets {
 		scores[i] = d.Score
 	}
 	sort.Float64s(scores)
-	return scores[len(scores)/2]
+	if n%2 == 1 {
+		return scores[n/2]
+	}
+	return (scores[n/2-1] + scores[n/2]) / 2
 }
 
 // buildERG organizes the question set as an errors-and-repairs graph
@@ -283,8 +355,26 @@ func (s *Session) buildERG(qs questionSet) *erg.Graph {
 	// A-questions attach to tuple pairs exhibiting the two values. Prefer
 	// a blocking candidate pair (Definition 2.1 puts p^t and p^a on the
 	// same edge, which is also what lets GSS grow CQGs mixing both
-	// question kinds); fall back to representative tuples.
-	pairByValues := s.candidatePairsByValues(qs.A)
+	// question kinds); fall back to representative tuples. The
+	// incremental path answers the lookup from the static candidate
+	// index (candidate pairs and attribute cells never change) instead
+	// of re-scanning the candidate list.
+	var pairByValues map[avKey]em.Pair
+	if d := s.detector(); d != nil {
+		cidx := d.candidateIndex()
+		pairByValues = make(map[avKey]em.Pair, len(qs.A))
+		for _, q := range qs.A {
+			key := aValueKey(q.col, q.v1, q.v2)
+			if _, dup := pairByValues[key]; dup {
+				continue
+			}
+			if p, ok := cidx.PairForValues(q.col, q.v1, q.v2); ok {
+				pairByValues[key] = p
+			}
+		}
+	} else {
+		pairByValues = s.candidatePairsByValues(qs.A)
+	}
 	type aPlace struct {
 		q    aQuestion
 		a, b dataset.TupleID
@@ -403,6 +493,7 @@ func (s *Session) buildERG(qs questionSet) *erg.Graph {
 
 // connectIsolated gives edge-less repair vertices a way into a CQG.
 func (s *Session) connectIsolated(g *erg.Graph, qs questionSet) {
+	d := s.detector()
 	neighborOf := map[dataset.TupleID][]dataset.TupleID{}
 	for _, m := range qs.M {
 		neighborOf[m.ID] = m.Neighbors
@@ -411,10 +502,17 @@ func (s *Session) connectIsolated(g *erg.Graph, qs questionSet) {
 		if len(g.IncidentEdges(r.ID)) > 0 {
 			continue
 		}
-		// Best blocking candidate touching this vertex.
+		// Best blocking candidate touching this vertex. The incremental
+		// path walks only the candidates incident to the vertex (same
+		// elements in the same candidate-list order); the full path
+		// scans the whole list.
+		touching := s.candidates
+		if d != nil {
+			touching = d.candidateIndex().Incident(r.ID)
+		}
 		bestPair := em.Pair{}
 		bestProb := -1.0
-		for _, p := range s.candidates {
+		for _, p := range touching {
 			if p.A != r.ID && p.B != r.ID {
 				continue
 			}

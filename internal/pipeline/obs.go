@@ -39,6 +39,12 @@ var (
 		"Hypotheses priced by the incremental delta pricer.")
 	obsDeltaFallbacks = obs.Default.Counter("visclean_benefit_delta_fallbacks_total",
 		"Hypotheses the delta pricer declined, priced by full view rebuild.")
+	obsDetectAccepts = obs.Default.Counter("visclean_detect_delta_accepts_total",
+		"Detect-phase kNN suggestions served from the maintained neighbour cache.")
+	obsDetectFallbacks = obs.Default.Counter("visclean_detect_delta_fallbacks_total",
+		"Detect-phase kNN suggestions recomputed from the live index (cache miss or invalidated).")
+	obsDetectFull = obs.Default.Counter("visclean_detect_full_total",
+		"Iterations that ran the full (non-incremental) detect path.")
 
 	obsPhaseSeconds = map[string]*obs.Histogram{
 		"detect":    phaseHist("detect"),
@@ -86,6 +92,11 @@ func (s *Session) observeIteration(rep *Report, start time.Time) {
 		obsMemoHits.Add(int64(rep.MemoHits))
 		obsDeltaAccepts.Add(int64(rep.DeltaAccepts))
 		obsDeltaFallbacks.Add(int64(rep.DeltaFallbacks))
+		obsDetectAccepts.Add(int64(rep.DetectAccepts))
+		obsDetectFallbacks.Add(int64(rep.DetectFallbacks))
+		if rep.DetectFull {
+			obsDetectFull.Inc()
+		}
 		tm := rep.Timings
 		obsPhaseSeconds["detect"].Observe(tm.Detect.Seconds())
 		obsPhaseSeconds["build_erg"].Observe(tm.BuildERG.Seconds())

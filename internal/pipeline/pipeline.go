@@ -126,6 +126,13 @@ type Config struct {
 	// only trades speed — it exists for benchmarking the delta engine's
 	// contribution and for bisecting any future equivalence regression.
 	NoIncremental bool
+	// NoIncrementalDetect disables incremental detection (DESIGN.md
+	// §10): every iteration re-runs the full §IV detectors instead of
+	// maintaining similarity-join postings, neighbour lists and ERG scan
+	// indexes across iterations. Same contract as NoIncremental — the
+	// two detect paths are bit-identical (enforced by the
+	// detect-equivalence suite), so the switch only trades speed.
+	NoIncrementalDetect bool
 
 	// TruthVis, when set, lets reports include the distance to the
 	// ground-truth visualization (the experiments' EMD(Q(D), Q(D_g))).
@@ -257,9 +264,23 @@ type Session struct {
 
 	// knnIndex is the lazily-built shared neighbour index over the
 	// working table (see internal/knn). Its token sets exclude yCol —
-	// the only column cleaning ever rewrites — so once built it stays
-	// valid for the whole session.
-	knnIndex *knn.Index
+	// the only column cleaning rewrites — and tokenize A-column cells
+	// through the session's standardizers, so approved synonyms share
+	// tokens. canonSnap/valueRows track, per A-column, each distinct
+	// value's canonical form as of the last index maintenance and the
+	// rows carrying it: after a model refresh changes some canonical
+	// forms, exactly the affected rows are re-tokenized (see
+	// maintainKnnIndex).
+	knnIndex  *knn.Index
+	canonSnap map[int]map[string]string
+	valueRows map[int]map[string][]int
+
+	// detect is the incrementally maintained detection state (see
+	// detectdelta.go); nil until the first detect, or always nil under
+	// Config.NoIncrementalDetect. lastDetect is the most recent detect
+	// phase's accounting, copied into the iteration Report.
+	detect     *detectDelta
+	lastDetect detectStats
 
 	// committed is the answer log, one group per completed iteration;
 	// current accumulates the in-flight iteration's applied answers.
@@ -340,9 +361,18 @@ func (s *Session) bootstrapMatcher() {
 		p  em.Pair
 		pr float64
 	}
+	// Feature vectors are computed once here and seeded into featCache:
+	// the first refreshModel reuses them verbatim (no cells have changed
+	// yet), halving session construction's dominant cost. Bit-identical
+	// because Matcher.Prob is ProbWithFeatures over these same features.
+	if s.featCache == nil {
+		s.featCache = make(map[em.Pair][]float64, len(s.candidates))
+	}
 	all := make([]scored, 0, len(s.candidates))
 	for _, p := range s.candidates {
-		all = append(all, scored{p: p, pr: s.matcher.Prob(s.table, p)})
+		feats := s.matcher.Features(s.table, p)
+		s.featCache[p] = feats
+		all = append(all, scored{p: p, pr: s.matcher.ProbWithFeatures(p, feats)})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].pr != all[j].pr {
@@ -397,6 +427,7 @@ func (s *Session) refreshModel() {
 	}
 	s.rebuildStandardizers()
 	s.clusters = s.buildClusters(nil, nil)
+	s.maintainKnnIndex()
 }
 
 // hysteresisMergeList selects the auto-merge pairs with a Schmitt-
@@ -575,12 +606,102 @@ func (s *Session) buildClusters(extraConfirm, extraSplit []em.Pair) *em.Clusters
 }
 
 // knnIdx returns the session's shared kNN token index, building it on
-// first use.
+// first use. A-column cells are tokenized through the current
+// standardizers (knnCanon); the value→canonical snapshot taken here is
+// what maintainKnnIndex diffs against after later refreshes.
 func (s *Session) knnIdx() *knn.Index {
 	if s.knnIndex == nil {
-		s.knnIndex = knn.NewIndex(s.table, s.yCol)
+		s.knnIndex = knn.NewIndexCanon(s.table, s.yCol, s.knnCanon)
+		s.snapshotCanon()
 	}
 	return s.knnIndex
+}
+
+// knnCanon maps a cell to the text the kNN index tokenizes: A-column
+// text cells resolve to their synonym class's golden value under the
+// session's current standardizers; everything else keeps its raw
+// rendering. Before any approval Canonical is the identity, so a fresh
+// index matches the historical raw-token behaviour exactly.
+func (s *Session) knnCanon(col int, v dataset.Value) string {
+	if txt, ok := v.Text(); ok {
+		if st := s.stdByCol(col); st != nil {
+			return st.Canonical(txt)
+		}
+	}
+	return v.String()
+}
+
+// stdByCol resolves a column index to its standardizer (nil for
+// non-A-columns).
+func (s *Session) stdByCol(col int) *goldenrec.Standardizer {
+	for _, c := range s.aColumns {
+		if c == col {
+			return s.std[s.table.Schema()[c].Name]
+		}
+	}
+	return nil
+}
+
+// snapshotCanon records, per A-column, every distinct value's canonical
+// form under the current standardizers and the rows carrying it.
+func (s *Session) snapshotCanon() {
+	s.canonSnap = make(map[int]map[string]string, len(s.aColumns))
+	s.valueRows = make(map[int]map[string][]int, len(s.aColumns))
+	schema := s.table.Schema()
+	for _, c := range s.aColumns {
+		st := s.std[schema[c].Name]
+		snap := make(map[string]string)
+		rowsOf := make(map[string][]int)
+		for i := 0; i < s.table.NumRows(); i++ {
+			txt, ok := s.table.Get(i, c).Text()
+			if !ok {
+				continue
+			}
+			if _, seen := snap[txt]; !seen {
+				snap[txt] = st.Canonical(txt)
+			}
+			rowsOf[txt] = append(rowsOf[txt], i)
+		}
+		s.canonSnap[c] = snap
+		s.valueRows[c] = rowsOf
+	}
+}
+
+// maintainKnnIndex re-tokenizes the rows whose effective cell text
+// changed since the last snapshot: a model refresh rebuilds the synonym
+// classes, and any value whose canonical form moved stales the token
+// sets of exactly the rows carrying it. Runs under both detect paths —
+// it is a correctness fix (stale tokens made Q_M/Q_O rank against
+// pre-approval text), not an optimization — and additionally marks the
+// re-tokenized rows dirty for the incremental detector's neighbour
+// cache.
+func (s *Session) maintainKnnIndex() {
+	if s.knnIndex == nil {
+		return
+	}
+	schema := s.table.Schema()
+	var rows []int
+	for _, c := range s.aColumns {
+		st := s.std[schema[c].Name]
+		snap := s.canonSnap[c]
+		for v, old := range snap {
+			nc := st.Canonical(v)
+			if nc == old {
+				continue
+			}
+			snap[v] = nc
+			rows = append(rows, s.valueRows[c][v]...)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Ints(rows)
+	rows = dedupSortedInts(rows)
+	s.knnIndex.ResetRows(rows)
+	if s.detect != nil {
+		s.detect.markTokenDirty(rows)
+	}
 }
 
 // Table returns the session's working table (with user repairs applied).
@@ -642,6 +763,14 @@ type Report struct {
 	// (Config.NoIncremental) or unavailable for the query.
 	DeltaAccepts   int
 	DeltaFallbacks int
+	// DetectAccepts / DetectFallbacks split the detect phase's kNN
+	// suggestion lookups by path: served from the incrementally
+	// maintained neighbour cache vs. recomputed from the live index
+	// (first sight or maintenance miss). DetectFull marks an iteration
+	// that ran the full detect path (Config.NoIncrementalDetect).
+	DetectAccepts   int
+	DetectFallbacks int
+	DetectFull      bool
 	// Questions asked, split by kind, and how many went unanswered
 	// (incomplete user input).
 	TQuestions, AQuestions, MQuestions, OQuestions int

@@ -1,0 +1,47 @@
+package stringsim
+
+// Memo caches token sets and pairwise token-Jaccard similarities across
+// calls. Detection re-scores the same value pairs every iteration; the
+// similarity of two fixed strings never changes, so memoizing is exact:
+// Memo.Jaccard returns the very float64 Jaccard would (it calls the same
+// JaccardSets over the same TokenSet results). Not safe for concurrent
+// use; VisClean's detect phase is single-threaded.
+type Memo struct {
+	sets map[string]map[string]struct{}
+	sims map[[2]string]float64
+}
+
+// NewMemo returns an empty similarity memo.
+func NewMemo() *Memo {
+	return &Memo{
+		sets: make(map[string]map[string]struct{}),
+		sims: make(map[[2]string]float64),
+	}
+}
+
+// TokenSet is stringsim.TokenSet with caching. Callers must not mutate
+// the returned set.
+func (m *Memo) TokenSet(s string) map[string]struct{} {
+	if set, ok := m.sets[s]; ok {
+		return set
+	}
+	set := TokenSet(s)
+	m.sets[s] = set
+	return set
+}
+
+// Jaccard is stringsim.Jaccard with caching, bit-identical to the
+// uncached function for any argument order (Jaccard is symmetric and
+// JaccardSets is order-insensitive).
+func (m *Memo) Jaccard(a, b string) float64 {
+	k := [2]string{a, b}
+	if a > b {
+		k[0], k[1] = b, a
+	}
+	if sim, ok := m.sims[k]; ok {
+		return sim
+	}
+	sim := JaccardSets(m.TokenSet(a), m.TokenSet(b))
+	m.sims[k] = sim
+	return sim
+}

@@ -1,0 +1,56 @@
+package stringsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestMemoMatchesDirect: memoized similarities are the very floats the
+// direct functions compute, in either argument order, and token sets are
+// cached per string.
+func TestMemoMatchesDirect(t *testing.T) {
+	m := NewMemo()
+	pairs := [][2]string{
+		{"ACM SIGMOD", "SIGMOD Conf."},
+		{"SIGMOD Conf.", "ACM SIGMOD"}, // reversed: same cache entry
+		{"VLDB", "Very Large Data Bases"},
+		{"", ""},
+		{"ICDE", ""},
+		{"same string", "same string"},
+	}
+	for _, p := range pairs {
+		want := Jaccard(p[0], p[1])
+		for i := 0; i < 2; i++ { // second call is the cached path
+			got := m.Jaccard(p[0], p[1])
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("Jaccard(%q, %q) = %v, want %v", p[0], p[1], got, want)
+			}
+		}
+		if got := m.Jaccard(p[1], p[0]); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("reversed Jaccard(%q, %q) = %v, want %v", p[1], p[0], got, want)
+		}
+	}
+
+	for _, s := range []string{"ACM SIGMOD", "", "a b a"} {
+		want := TokenSet(s)
+		got := m.TokenSet(s)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("TokenSet(%q) = %v, want %v", s, got, want)
+		}
+		if again := m.TokenSet(s); !sameMap(again, got) {
+			t.Errorf("TokenSet(%q) not cached", s)
+		}
+	}
+}
+
+// sameMap checks pointer-level identity of two map values via a write.
+func sameMap(a, b map[string]struct{}) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true // cannot distinguish empty maps; equality suffices
+	}
+	return reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
+}

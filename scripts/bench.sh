@@ -1,15 +1,18 @@
 #!/bin/sh
 # bench.sh — run the performance-tracking benchmarks and record their
-# metrics as JSON (BENCH_pr3.json) so future changes can be compared
+# metrics as JSON (BENCH_pr7.json) so future changes can be compared
 # against a committed baseline. BenchmarkAnnotate isolates the benefit
 # engine hot path: the incremental delta pricer at Workers=1 vs
 # Workers=8, plus a FullRebuild variant (Config.NoIncremental) that
 # prices every hypothesis by re-executing the query from scratch — the
 # FullRebuild/Workers1 ratio is what incremental pricing buys.
 # BenchmarkIterationPhases records the per-phase breakdown
-# (detect/buildERG/annotate/select) of one full iteration; Fig10 is the
+# (detect/buildERG/annotate/select) of a four-iteration session twice:
+# the Incremental sub-benchmark uses the maintained detection structures
+# (detectdelta.go), FullDetect sets Config.NoIncrementalDetect — their
+# detect_µs ratio is what incremental detection buys. Fig10 is the
 # end-to-end progression smoke. All variants are cross-checked
-# bit-identical inside the benchmarks themselves.
+# bit-identical by the equivalence suites scripts/check.sh runs.
 #
 # After the go benches, cmd/loadgen storms a self-contained two-shard
 # cluster (router + shared snapshot dir, all in one process) with 200
@@ -21,7 +24,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr7.json}"
 loadout="${2:-BENCH_load.json}"
 
 raw=$(go test -run xxx -bench 'BenchmarkAnnotate|BenchmarkIterationPhases|BenchmarkFig10' -benchtime=1x -count=1 . 2>&1)

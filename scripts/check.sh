@@ -1,12 +1,14 @@
 #!/bin/sh
 # check.sh — the repo's verification gate: build, vet, the full test
-# suite with the race detector on, the determinism + incremental-pricing
-# equivalence suites (same seed, Workers=1 vs Workers=8, and delta
-# pricing vs full rebuild must all be byte-identical), and a one-shot
-# benchmark smoke so the bench harness cannot rot. The smoke also guards
-# the incremental pricer's reason to exist: if BenchmarkAnnotate's
-# Workers=1 ns/op regresses to more than 2x the committed BENCH_pr3.json
-# baseline, the check fails. CI and pre-commit both run this.
+# suite with the race detector on, the determinism + incremental
+# equivalence suites (same seed, Workers=1 vs Workers=8, delta pricing
+# vs full rebuild, and incremental detection vs full detect must all be
+# byte-identical), and a one-shot benchmark smoke so the bench harness
+# cannot rot. The smoke also guards the incremental engines' reason to
+# exist: if BenchmarkAnnotate's Workers=1 ns/op or the Incremental
+# iteration-phase detect_µs regresses to more than 2x the committed
+# baseline (BENCH_pr3.json / BENCH_pr7.json), the check fails. CI and
+# pre-commit both run this.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +23,7 @@ echo "== go test -race ./..."
 go test -race ./...
 
 echo "== determinism + incremental equivalence suites (-race)"
-go test -race -count=1 -run 'TestDeterminism|TestIncremental' ./internal/pipeline/
+go test -race -count=1 -run 'TestDeterminism|TestIncremental|TestDetectEquivalence' ./internal/pipeline/
 
 echo "== chaos suite: fault-injection kill-restart (-race, short mode)"
 go test -race -short -count=1 -run 'TestChaos' ./internal/service/
@@ -34,8 +36,8 @@ loadout=$(mktemp)
 go run ./cmd/loadgen -self 2 -sessions 8 -concurrency 8 -iters 1 -out "$loadout"
 rm -f "$loadout"
 
-echo "== benchmark smoke (Fig 10 + Annotate, 1 iteration)"
-smoke=$(go test -run xxx -bench 'BenchmarkFig10|BenchmarkAnnotate/Workers1$' -benchtime=1x .)
+echo "== benchmark smoke (Fig 10 + Annotate + IterationPhases, 1 iteration)"
+smoke=$(go test -run xxx -bench 'BenchmarkFig10|BenchmarkAnnotate/Workers1$|BenchmarkIterationPhases/Incremental$' -benchtime=1x .)
 echo "$smoke"
 
 if [ -f BENCH_pr3.json ]; then
@@ -51,6 +53,21 @@ if [ -f BENCH_pr3.json ]; then
     fi
 else
     echo "== SKIP annotate regression guard: no BENCH_pr3.json baseline in this checkout — generate one with scripts/bench.sh"
+fi
+
+if [ -f BENCH_pr7.json ]; then
+    dbase=$(awk -F'"detect_µs": ' '/"BenchmarkIterationPhases\/Incremental"/ {split($2, a, /[,}]/); print a[1]}' BENCH_pr7.json)
+    dcur=$(echo "$smoke" | awk '$1 ~ /^BenchmarkIterationPhases\/Incremental/ {for (i = 3; i < NF; i++) if ($(i+1) == "detect_µs") print $i}')
+    if [ -n "$dbase" ] && [ -n "$dcur" ]; then
+        echo "== detect regression guard: current ${dcur} µs vs baseline ${dbase} µs"
+        awk -v c="$dcur" -v b="$dbase" 'BEGIN {
+            if (c > 2 * b) { printf "FAIL: incremental detect_µs regressed more than 2x (%s > 2 * %s)\n", c, b; exit 1 }
+        }'
+    else
+        echo "== SKIP detect regression guard: BENCH_pr7.json present but unparsable (baseline='${dbase}', current='${dcur}') — regenerate with scripts/bench.sh"
+    fi
+else
+    echo "== SKIP detect regression guard: no BENCH_pr7.json baseline in this checkout — generate one with scripts/bench.sh"
 fi
 
 echo "== docs gate (package docs + doc links)"
