@@ -1,0 +1,48 @@
+package dataset
+
+// bitmap is a packed bit vector used for per-column null tracking. The
+// callers track the logical length; out-of-range reads return false.
+type bitmap []uint64
+
+func (b bitmap) get(i int) bool {
+	w := i >> 6
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *bitmap) set(i int, v bool) {
+	w := i >> 6
+	for w >= len(*b) {
+		*b = append(*b, 0)
+	}
+	if v {
+		(*b)[w] |= 1 << (uint(i) & 63)
+	} else {
+		(*b)[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (b bitmap) clone() bitmap {
+	out := make(bitmap, len(b))
+	copy(out, b)
+	return out
+}
+
+// anySet reports whether any of the first n bits is set — the fast path
+// for null scans over fully populated columns.
+func (b bitmap) anySet(n int) bool {
+	full := n >> 6
+	for w := 0; w < full && w < len(b); w++ {
+		if b[w] != 0 {
+			return true
+		}
+	}
+	if rest := n & 63; rest != 0 && full < len(b) {
+		if b[full]&(1<<uint(rest)-1) != 0 {
+			return true
+		}
+	}
+	return false
+}

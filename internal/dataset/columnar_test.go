@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestDeleteIDsBatch(t *testing.T) {
+	tbl := samplePubs(t)
+	// Delete rows 1 and 3 in one pass; include an unknown and a
+	// duplicate id, which must be ignored.
+	removed := tbl.DeleteIDs([]TupleID{tbl.ID(3), tbl.ID(1), tbl.ID(1), 9999})
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", tbl.NumRows())
+	}
+	// Survivors keep their order and id→row mapping.
+	wantTitles := []string{"NADEEF", "NADEEF", "SeeDB"}
+	wantVenues := []string{"ACM SIGMOD", "SIGMOD", "Very Large Data Bases"}
+	for i := 0; i < tbl.NumRows(); i++ {
+		if s, _ := tbl.Get(i, 0).Text(); s != wantTitles[i] {
+			t.Fatalf("row %d title = %q, want %q", i, s, wantTitles[i])
+		}
+		if s, _ := tbl.Get(i, 1).Text(); s != wantVenues[i] {
+			t.Fatalf("row %d venue = %q, want %q", i, s, wantVenues[i])
+		}
+		if got, ok := tbl.RowIndex(tbl.ID(i)); !ok || got != i {
+			t.Fatalf("id index mismatch at row %d", i)
+		}
+	}
+	if tbl.DeleteIDs(nil) != 0 {
+		t.Fatal("empty batch should remove nothing")
+	}
+}
+
+func TestDeleteIDsPreservesNulls(t *testing.T) {
+	tbl := samplePubs(t)
+	// Row 3 (SeeDB, VLDB, null) survives deleting rows 0..2; the null
+	// must follow its row through the compaction.
+	tbl.DeleteIDs([]TupleID{tbl.ID(0), tbl.ID(1), tbl.ID(2)})
+	if !tbl.Get(0, 2).IsNull() {
+		t.Fatal("null cell lost its position after compaction")
+	}
+	if f, _ := tbl.Get(1, 2).Float(); f != 55 {
+		t.Fatalf("survivor value = %v, want 55", f)
+	}
+}
+
+// TestCloneDictionaryCopyOnWrite pins the interning contract: clones
+// share the string dictionary read-only, and the first write that needs
+// a new code copies it, so neither side ever observes the other's
+// dictionary growth.
+func TestCloneDictionaryCopyOnWrite(t *testing.T) {
+	tbl := samplePubs(t)
+	cp := tbl.Clone()
+
+	// Writing an existing value into the clone needs no new code and
+	// must not disturb the original.
+	if err := cp.Set(0, 1, Str("VLDB")); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := tbl.Get(0, 1).Text(); s != "ACM SIGMOD" {
+		t.Fatalf("original venue = %q after clone write", s)
+	}
+
+	// Writing a brand-new string into the clone triggers the dictionary
+	// copy; the original still resolves all its codes correctly.
+	if err := cp.Set(1, 1, Str("EDBT")); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := cp.Get(1, 1).Text(); s != "EDBT" {
+		t.Fatalf("clone venue = %q, want EDBT", s)
+	}
+	if s, _ := tbl.Get(1, 1).Text(); s != "SIGMOD Conf." {
+		t.Fatalf("original venue = %q after clone dictionary copy", s)
+	}
+
+	// And symmetrically: new strings in the original don't leak into
+	// the clone.
+	if err := tbl.Set(2, 1, Str("CIDR")); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := cp.Get(2, 1).Text(); s != "SIGMOD" {
+		t.Fatalf("clone venue = %q after original write", s)
+	}
+}
+
+func TestColumnIndexMemoized(t *testing.T) {
+	tbl := samplePubs(t)
+	if got := tbl.ColumnIndex("Citations"); got != 2 {
+		t.Fatalf("ColumnIndex(Citations) = %d", got)
+	}
+	if got := tbl.ColumnIndex("Nope"); got != -1 {
+		t.Fatalf("ColumnIndex(Nope) = %d", got)
+	}
+	// Table.ColumnIndex must agree with Schema.Index on every column.
+	for _, c := range tbl.Schema() {
+		if tbl.ColumnIndex(c.Name) != tbl.Schema().Index(c.Name) {
+			t.Fatalf("ColumnIndex disagrees with Schema.Index on %q", c.Name)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if tbl.ColumnIndex("Citations") != 2 {
+			t.Fatal("wrong index")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ColumnIndex allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestIsNullSpellingNoAllocs is the satellite's allocation assertion:
+// parsing CSV fields must not allocate for the null-spelling check
+// (the old strings.ToUpper copied every field).
+func TestIsNullSpellingNoAllocs(t *testing.T) {
+	fields := []string{"", "N.A.", "na", "n/a", "NULL", "NaN", "none", "VLDB", "ordinary text", "174.5"}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, f := range fields {
+			isNullSpelling(f)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("isNullSpelling allocates %v per run, want 0", allocs)
+	}
+	// Semantics unchanged from the ToUpper switch.
+	for _, f := range []string{"", "N.A.", "n.a.", "NA", "na", "N/A", "null", "NULL", "nan", "NONE", "None"} {
+		if !isNullSpelling(f) {
+			t.Fatalf("isNullSpelling(%q) = false, want true", f)
+		}
+	}
+	for _, f := range []string{"0", "N.A", "NAAN", "nul", "none ", " "} {
+		if isNullSpelling(f) {
+			t.Fatalf("isNullSpelling(%q) = true, want false", f)
+		}
+	}
+}
+
+// TestGetNoAllocs pins the columnar promise that cell reads build the
+// Value on the stack: scanning a table through Get must not allocate.
+func TestGetNoAllocs(t *testing.T) {
+	tbl := samplePubs(t)
+	sum := 0.0
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < tbl.NumRows(); i++ {
+			for c := 0; c < tbl.NumCols(); c++ {
+				if f, ok := tbl.Get(i, c).Float(); ok {
+					sum += f
+				}
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Get scan allocates %v per run, want 0", allocs)
+	}
+	_ = sum
+}

@@ -99,9 +99,9 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		return fmt.Errorf("dataset: write csv header: %w", err)
 	}
 	rec := make([]string, len(t.schema))
-	for i := range t.rows {
+	for i := range t.ids {
 		for c := range t.schema {
-			rec[c] = t.rows[i][c].String()
+			rec[c] = t.cols[c].get(i).String()
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("dataset: write csv row %d: %w", i, err)

@@ -1,0 +1,194 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func overlayFixture(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable(pubsSchema())
+	rows := [][]Value{
+		{Str("NADEEF"), Str("ACM SIGMOD"), Num(174)},
+		{Str("NADEEF"), Str("SIGMOD Conf."), Num(1740)},
+		{Str("SeeDB"), Str("VLDB"), Null(Float)},
+		{Str("SeeDB"), Str("Very Large Data Bases"), Num(55)},
+	}
+	for _, r := range rows {
+		tbl.MustAppend(r)
+	}
+	return tbl
+}
+
+func TestOverlayBasics(t *testing.T) {
+	tbl := overlayFixture(t)
+	ov := tbl.Overlay()
+	if ov.Base() != tbl {
+		t.Fatal("Base should return the underlying table")
+	}
+	if ov.Touched() != 0 {
+		t.Fatal("fresh overlay should have no touched cells")
+	}
+
+	id := tbl.ID(0)
+	if err := ov.Set(id, 2, Num(175)); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Touched() != 1 {
+		t.Fatalf("touched = %d, want 1", ov.Touched())
+	}
+	// Re-patching the same cell does not grow the touched count.
+	if err := ov.Set(id, 2, Num(176)); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Touched() != 1 {
+		t.Fatalf("touched after re-patch = %d, want 1", ov.Touched())
+	}
+
+	// The base table is untouched.
+	if f, _ := tbl.Get(0, 2).Float(); f != 174 {
+		t.Fatalf("base mutated: %v", f)
+	}
+	// Patch and Get see the patched value.
+	if v, ok := ov.Patch(id, 2); !ok || !v.Equal(Num(176)) {
+		t.Fatalf("Patch = %v, %v", v, ok)
+	}
+	if v, ok := ov.Get(id, 2); !ok || !v.Equal(Num(176)) {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	// Unpatched cells read through.
+	if v, ok := ov.Get(id, 0); !ok || !v.Equal(Str("NADEEF")) {
+		t.Fatalf("read-through Get = %v, %v", v, ok)
+	}
+
+	// Kind and id validation.
+	if err := ov.Set(id, 2, Str("bad")); err == nil {
+		t.Fatal("expected kind error")
+	}
+	if err := ov.Set(9999, 2, Num(1)); err == nil {
+		t.Fatal("expected missing-id error")
+	}
+}
+
+func TestOverlayTombstones(t *testing.T) {
+	tbl := overlayFixture(t)
+	ov := tbl.Overlay()
+	id := tbl.ID(1)
+	if !ov.Delete(id) {
+		t.Fatal("delete failed")
+	}
+	if ov.Delete(id) {
+		t.Fatal("double tombstone should report false")
+	}
+	if ov.Delete(9999) {
+		t.Fatal("deleting unknown id should report false")
+	}
+	if !ov.Deleted(id) {
+		t.Fatal("Deleted should see the tombstone")
+	}
+	if _, ok := ov.Get(id, 0); ok {
+		t.Fatal("Get should miss a tombstoned row")
+	}
+	got := ov.Materialize()
+	if got.NumRows() != tbl.NumRows()-1 {
+		t.Fatalf("materialized rows = %d, want %d", got.NumRows(), tbl.NumRows()-1)
+	}
+	if _, ok := got.RowIndex(id); ok {
+		t.Fatal("tombstoned id survived materialization")
+	}
+	if tbl.NumRows() != 4 {
+		t.Fatal("base table mutated by materialization")
+	}
+}
+
+// tablesEqual compares two tables cell-by-cell including ids.
+func tablesEqual(a, b *Table) error {
+	if a.NumRows() != b.NumRows() {
+		return fmt.Errorf("rows %d vs %d", a.NumRows(), b.NumRows())
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		if a.ID(i) != b.ID(i) {
+			return fmt.Errorf("row %d id %d vs %d", i, a.ID(i), b.ID(i))
+		}
+		for c := 0; c < a.NumCols(); c++ {
+			if !a.Get(i, c).Equal(b.Get(i, c)) {
+				return fmt.Errorf("cell (%d,%d) %v vs %v", i, c, a.Get(i, c), b.Get(i, c))
+			}
+		}
+	}
+	var ba, bb bytes.Buffer
+	if err := a.WriteCSV(&ba); err != nil {
+		return err
+	}
+	if err := b.WriteCSV(&bb); err != nil {
+		return err
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		return fmt.Errorf("CSV encodings differ")
+	}
+	return nil
+}
+
+// TestOverlayMaterializeEqualsEagerClone is the property suite the
+// tentpole promises: across randomized edit scripts (cell patches on
+// both kinds, overwrites, tombstones), Overlay+Materialize must equal
+// the eager Clone+Set/DeleteByID path exactly.
+func TestOverlayMaterializeEqualsEagerClone(t *testing.T) {
+	words := []string{"SIGMOD", "VLDB", "ICDE", "KDD", "", "N/A spelled out", "brand new value"}
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		base := NewTable(pubsSchema())
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			row := []Value{
+				Str(words[rng.Intn(len(words))]),
+				Str(words[rng.Intn(len(words))]),
+				Num(float64(rng.Intn(2000))),
+			}
+			if rng.Intn(6) == 0 {
+				row[2] = Null(Float)
+			}
+			if rng.Intn(9) == 0 {
+				row[1] = Null(String)
+			}
+			base.MustAppend(row)
+		}
+
+		ov := base.Overlay()
+		eager := base.Clone()
+		// mirror applies the same patch eagerly; a patch on a row the
+		// eager side already deleted is a legal no-op on both paths
+		// (Materialize applies patches before tombstones).
+		mirror := func(id TupleID, c int, v Value) {
+			if err := ov.Set(id, c, v); err != nil {
+				t.Fatalf("trial %d: overlay set: %v", trial, err)
+			}
+			_ = eager.SetByID(id, c, v)
+		}
+		edits := 1 + rng.Intn(25)
+		for e := 0; e < edits; e++ {
+			id := base.ID(rng.Intn(base.NumRows()))
+			switch rng.Intn(5) {
+			case 0: // tombstone
+				a := ov.Delete(id)
+				b := eager.DeleteByID(id)
+				if a != b {
+					t.Fatalf("trial %d: delete reported %v vs eager %v", trial, a, b)
+				}
+			case 1: // string patch (possibly a brand-new dictionary entry)
+				mirror(id, rng.Intn(2), Str(fmt.Sprintf("%s-%d", words[rng.Intn(len(words))], rng.Intn(4))))
+			case 2: // numeric patch
+				mirror(id, 2, Num(float64(rng.Intn(5000))/7))
+			case 3: // null out a cell
+				mirror(id, 2, Null(Float))
+			case 4: // overwrite an earlier patch
+				mirror(id, 0, Str("rewritten"))
+			}
+		}
+		if err := tablesEqual(ov.Materialize(), eager); err != nil {
+			t.Fatalf("trial %d (%d rows, %d edits): %v", trial, n, edits, err)
+		}
+	}
+}

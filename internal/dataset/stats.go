@@ -28,54 +28,94 @@ func (s ColumnStats) NullRate() float64 {
 
 // Stats computes ColumnStats for the column at index c.
 func (t *Table) Stats(c int) ColumnStats {
-	s := ColumnStats{Name: t.schema[c].Name, Kind: t.schema[c].Kind, Rows: len(t.rows)}
-	distinct := make(map[string]struct{})
-	var nums []float64
-	for i := range t.rows {
-		v := t.rows[i][c]
-		if v.IsNull() {
-			s.Nulls++
-			continue
+	s := ColumnStats{Name: t.schema[c].Name, Kind: t.schema[c].Kind, Rows: len(t.ids)}
+	switch col := t.cols[c].(type) {
+	case *stringCol:
+		seen := make([]bool, len(col.dict.strs))
+		for i, code := range col.codes {
+			if col.nulls.get(i) {
+				s.Nulls++
+				continue
+			}
+			if !seen[code] {
+				seen[code] = true
+				s.Distinct++
+			}
 		}
-		distinct[v.String()] = struct{}{}
-		if f, ok := v.Float(); ok {
+		return s
+	case *floatCol:
+		// Distinct counts formatted values, matching the historical
+		// row-store semantics (e.g. 0 and -0 render differently).
+		distinct := make(map[float64]struct{}, 64)
+		sawNegZero, sawPosZero := false, false
+		nums := make([]float64, 0, len(col.vals))
+		for i, f := range col.vals {
+			if col.nulls.get(i) {
+				s.Nulls++
+				continue
+			}
+			if f == 0 {
+				if math.Signbit(f) {
+					sawNegZero = true
+				} else {
+					sawPosZero = true
+				}
+			}
+			distinct[f] = struct{}{}
 			nums = append(nums, f)
 		}
-	}
-	s.Distinct = len(distinct)
-	if len(nums) == 0 {
+		s.Distinct = len(distinct)
+		if sawNegZero && sawPosZero {
+			s.Distinct++
+		}
+		if len(nums) == 0 {
+			return s
+		}
+		sort.Float64s(nums)
+		s.Min, s.Max = nums[0], nums[len(nums)-1]
+		var sum float64
+		for _, f := range nums {
+			sum += f
+		}
+		s.Mean = sum / float64(len(nums))
+		var ss float64
+		for _, f := range nums {
+			d := f - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(nums)))
+		mid := len(nums) / 2
+		if len(nums)%2 == 1 {
+			s.Median = nums[mid]
+		} else {
+			s.Median = (nums[mid-1] + nums[mid]) / 2
+		}
 		return s
-	}
-	sort.Float64s(nums)
-	s.Min, s.Max = nums[0], nums[len(nums)-1]
-	var sum float64
-	for _, f := range nums {
-		sum += f
-	}
-	s.Mean = sum / float64(len(nums))
-	var ss float64
-	for _, f := range nums {
-		d := f - s.Mean
-		ss += d * d
-	}
-	s.Stddev = math.Sqrt(ss / float64(len(nums)))
-	mid := len(nums) / 2
-	if len(nums)%2 == 1 {
-		s.Median = nums[mid]
-	} else {
-		s.Median = (nums[mid-1] + nums[mid]) / 2
 	}
 	return s
 }
 
 // DistinctStrings returns the distinct non-null string values of column c
 // with their frequencies. The attribute-duplicate detector iterates over
-// this instead of raw rows.
+// this instead of raw rows. On the columnar store this is one pass over
+// the code array plus one map insert per distinct value (not per row).
 func (t *Table) DistinctStrings(c int) map[string]int {
 	out := make(map[string]int)
-	for i := range t.rows {
-		if s, ok := t.rows[i][c].Text(); ok {
-			out[s]++
+	col, ok := t.cols[c].(*stringCol)
+	if !ok {
+		return out
+	}
+	counts := make([]int, len(col.dict.strs))
+	hasNulls := col.nulls.anySet(len(col.codes))
+	for i, code := range col.codes {
+		if hasNulls && col.nulls.get(i) {
+			continue
+		}
+		counts[code]++
+	}
+	for code, n := range counts {
+		if n > 0 {
+			out[col.dict.strs[code]] = n
 		}
 	}
 	return out
@@ -84,11 +124,23 @@ func (t *Table) DistinctStrings(c int) map[string]int {
 // NumericColumn extracts the non-null values of a Float column together
 // with their tuple ids, in row order.
 func (t *Table) NumericColumn(c int) (vals []float64, ids []TupleID) {
-	for i := range t.rows {
-		if f, ok := t.rows[i][c].Float(); ok {
-			vals = append(vals, f)
-			ids = append(ids, t.ids[i])
+	col, ok := t.cols[c].(*floatCol)
+	if !ok {
+		return nil, nil
+	}
+	if !col.nulls.anySet(len(col.vals)) {
+		vals = make([]float64, len(col.vals))
+		copy(vals, col.vals)
+		ids = make([]TupleID, len(t.ids))
+		copy(ids, t.ids)
+		return vals, ids
+	}
+	for i, f := range col.vals {
+		if col.nulls.get(i) {
+			continue
 		}
+		vals = append(vals, f)
+		ids = append(ids, t.ids[i])
 	}
 	return vals, ids
 }
@@ -96,8 +148,9 @@ func (t *Table) NumericColumn(c int) (vals []float64, ids []TupleID) {
 // MissingIDs returns the tuple ids whose cell in column c is null.
 func (t *Table) MissingIDs(c int) []TupleID {
 	var out []TupleID
-	for i := range t.rows {
-		if t.rows[i][c].IsNull() {
+	col := t.cols[c]
+	for i := range t.ids {
+		if col.isNull(i) {
 			out = append(out, t.ids[i])
 		}
 	}

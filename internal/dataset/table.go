@@ -15,7 +15,9 @@ type Column struct {
 // Schema is an ordered list of columns with unique names.
 type Schema []Column
 
-// Index returns the position of the named column, or -1.
+// Index returns the position of the named column, or -1. This is a
+// linear scan; Table.ColumnIndex answers the same question through a
+// map built once per table and should be preferred on hot paths.
 func (s Schema) Index(name string) int {
 	for i, c := range s {
 		if c.Name == name {
@@ -53,14 +55,23 @@ func (s Schema) Clone() Schema {
 // truth and the cleaning models can all refer to the same tuple.
 type TupleID int
 
-// Table is an in-memory relation. It is not safe for concurrent mutation;
-// the pipeline clones tables before hypothetical repairs.
+// noRow marks an absent id in the id→row index.
+const noRow = int32(-1)
+
+// Table is an in-memory relation stored column-wise: a Float column is a
+// flat []float64 plus null bitmap, a String column is []uint32 codes
+// into a per-column dictionary shared read-only by clones (see
+// column.go). The id→row index is a flat array, not a map, because ids
+// are dense by construction. Table is not safe for concurrent mutation;
+// the pipeline clones tables (or layers an Overlay) before hypothetical
+// repairs.
 type Table struct {
 	schema Schema
-	rows   [][]Value
+	colIdx map[string]int // memoized Schema.Index
+	cols   []column
 	ids    []TupleID
 	nextID TupleID
-	byID   map[TupleID]int // row index by tuple id; lazily rebuilt
+	byID   []int32 // id → row index, noRow when absent
 }
 
 // NewTable creates an empty table. It panics on an invalid schema, which
@@ -69,22 +80,42 @@ func NewTable(schema Schema) *Table {
 	if err := schema.Validate(); err != nil {
 		panic(err)
 	}
-	return &Table{schema: schema.Clone(), byID: map[TupleID]int{}}
+	t := &Table{schema: schema.Clone(), colIdx: make(map[string]int, len(schema)), cols: make([]column, len(schema))}
+	for i, c := range t.schema {
+		t.colIdx[c.Name] = i
+		t.cols[i] = newColumn(c.Kind)
+	}
+	return t
 }
 
 // Schema returns the table's schema. Callers must not mutate it.
 func (t *Table) Schema() Schema { return t.schema }
 
 // NumRows returns the number of tuples.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return len(t.ids) }
 
 // NumCols returns the number of attributes.
 func (t *Table) NumCols() int { return len(t.schema) }
 
-// ColumnIndex returns the position of the named column, or -1.
-func (t *Table) ColumnIndex(name string) int { return t.schema.Index(name) }
+// ColumnIndex returns the position of the named column, or -1. Unlike
+// Schema.Index this is a single map lookup.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
 
-// Append adds a tuple and returns its new TupleID. The row is copied.
+// rowOf resolves an id to its row index, or noRow.
+func (t *Table) rowOf(id TupleID) int32 {
+	if id < 0 || int(id) >= len(t.byID) {
+		return noRow
+	}
+	return t.byID[id]
+}
+
+// Append adds a tuple and returns its new TupleID. The row is copied
+// into the column arrays.
 func (t *Table) Append(row []Value) (TupleID, error) {
 	if len(row) != len(t.schema) {
 		return 0, fmt.Errorf("dataset: row has %d cells, schema has %d columns", len(row), len(t.schema))
@@ -96,11 +127,14 @@ func (t *Table) Append(row []Value) (TupleID, error) {
 	}
 	id := t.nextID
 	t.nextID++
-	cp := make([]Value, len(row))
-	copy(cp, row)
-	t.rows = append(t.rows, cp)
+	for i, v := range row {
+		t.cols[i].appendVal(v)
+	}
 	t.ids = append(t.ids, id)
-	t.byID[id] = len(t.rows) - 1
+	for int(id) >= len(t.byID) {
+		t.byID = append(t.byID, noRow)
+	}
+	t.byID[id] = int32(len(t.ids) - 1)
 	return id, nil
 }
 
@@ -121,33 +155,43 @@ func (t *Table) ID(i int) TupleID { return t.ids[i] }
 
 // RowIndex returns the current row position of a tuple id.
 func (t *Table) RowIndex(id TupleID) (int, bool) {
-	i, ok := t.byID[id]
-	return i, ok
+	i := t.rowOf(id)
+	if i == noRow {
+		return 0, false
+	}
+	return int(i), true
 }
 
-// Row returns the i-th row. Callers must not mutate the returned slice;
-// use Set for updates so derived state stays consistent.
-func (t *Table) Row(i int) []Value { return t.rows[i] }
+// Row materializes the i-th row as a fresh []Value. Callers must not
+// assume writes to the returned slice reach the table; use Set for
+// updates so derived state stays consistent.
+func (t *Table) Row(i int) []Value {
+	out := make([]Value, len(t.cols))
+	for c, col := range t.cols {
+		out[c] = col.get(i)
+	}
+	return out
+}
 
-// RowByID returns the row for a tuple id.
+// RowByID returns the row for a tuple id. See Row.
 func (t *Table) RowByID(id TupleID) ([]Value, bool) {
-	i, ok := t.byID[id]
-	if !ok {
+	i := t.rowOf(id)
+	if i == noRow {
 		return nil, false
 	}
-	return t.rows[i], true
+	return t.Row(int(i)), true
 }
 
 // Get returns the cell at row i, column c.
-func (t *Table) Get(i, c int) Value { return t.rows[i][c] }
+func (t *Table) Get(i, c int) Value { return t.cols[c].get(i) }
 
 // GetByID returns the cell for a tuple id and column index.
 func (t *Table) GetByID(id TupleID, c int) (Value, bool) {
-	i, ok := t.byID[id]
-	if !ok {
+	i := t.rowOf(id)
+	if i == noRow {
 		return Value{}, false
 	}
-	return t.rows[i][c], true
+	return t.cols[c].get(int(i)), true
 }
 
 // Set replaces the cell at row i, column c, enforcing the column kind.
@@ -155,54 +199,87 @@ func (t *Table) Set(i, c int, v Value) error {
 	if v.Kind() != t.schema[c].Kind {
 		return fmt.Errorf("dataset: column %q expects %v, got %v", t.schema[c].Name, t.schema[c].Kind, v.Kind())
 	}
-	t.rows[i][c] = v
+	t.cols[c].set(i, v)
 	return nil
 }
 
 // SetByID replaces a cell addressed by tuple id.
 func (t *Table) SetByID(id TupleID, c int, v Value) error {
-	i, ok := t.byID[id]
-	if !ok {
+	i := t.rowOf(id)
+	if i == noRow {
 		return fmt.Errorf("dataset: no tuple with id %d", id)
 	}
-	return t.Set(i, c, v)
+	return t.Set(int(i), c, v)
 }
 
 // DeleteByID removes a tuple. Row order of the survivors is preserved.
+// Each call compacts the column arrays; deleting many tuples should go
+// through DeleteIDs, which compacts once for the whole batch.
 func (t *Table) DeleteByID(id TupleID) bool {
-	i, ok := t.byID[id]
-	if !ok {
+	if t.rowOf(id) == noRow {
 		return false
 	}
-	t.rows = append(t.rows[:i], t.rows[i+1:]...)
-	t.ids = append(t.ids[:i], t.ids[i+1:]...)
-	delete(t.byID, id)
-	for j := i; j < len(t.ids); j++ {
-		t.byID[t.ids[j]] = j
-	}
-	return true
+	return t.DeleteIDs([]TupleID{id}) == 1
 }
 
-// Clone returns a deep copy sharing nothing with the receiver. Tuple ids
-// are preserved, so a clone can be repaired hypothetically and compared
-// against the original tuple-by-tuple.
+// DeleteIDs removes a batch of tuples in one compaction pass over the
+// column arrays and the id index — O(rows + batch) total instead of
+// O(rows) per deletion. Unknown and duplicate ids are ignored; the
+// number of tuples actually removed is returned.
+func (t *Table) DeleteIDs(ids []TupleID) int {
+	keep := make([]bool, len(t.ids))
+	for i := range keep {
+		keep[i] = true
+	}
+	removed := 0
+	for _, id := range ids {
+		if i := t.rowOf(id); i != noRow && keep[i] {
+			keep[i] = false
+			t.byID[id] = noRow
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	kept := len(t.ids) - removed
+	for _, col := range t.cols {
+		col.compact(keep, kept)
+	}
+	out := make([]TupleID, 0, kept)
+	for i, k := range keep {
+		if k {
+			t.byID[t.ids[i]] = int32(len(out))
+			out = append(out, t.ids[i])
+		}
+	}
+	t.ids = out
+	return removed
+}
+
+// Clone returns a deep copy sharing no mutable state with the receiver:
+// column arrays and the id index are copied, string dictionaries are
+// shared copy-on-write (frozen until either side needs a new code).
+// Tuple ids are preserved, so a clone can be repaired hypothetically and
+// compared against the original tuple-by-tuple. For hypothetical repairs
+// that touch few cells, Overlay is O(touched) instead of O(table).
 func (t *Table) Clone() *Table {
 	cp := &Table{
 		schema: t.schema.Clone(),
-		rows:   make([][]Value, len(t.rows)),
+		colIdx: make(map[string]int, len(t.colIdx)),
+		cols:   make([]column, len(t.cols)),
 		ids:    make([]TupleID, len(t.ids)),
 		nextID: t.nextID,
-		byID:   make(map[TupleID]int, len(t.byID)),
+		byID:   make([]int32, len(t.byID)),
 	}
-	for i, r := range t.rows {
-		row := make([]Value, len(r))
-		copy(row, r)
-		cp.rows[i] = row
+	for name, i := range t.colIdx {
+		cp.colIdx[name] = i
+	}
+	for i, col := range t.cols {
+		cp.cols[i] = col.clone()
 	}
 	copy(cp.ids, t.ids)
-	for id, i := range t.byID {
-		cp.byID[id] = i
-	}
+	copy(cp.byID, t.byID)
 	return cp
 }
 
@@ -211,41 +288,48 @@ func (t *Table) Clone() *Table {
 func (t *Table) Filter(keep func(row []Value) bool) *Table {
 	out := NewTable(t.schema)
 	out.nextID = t.nextID
-	for i, r := range t.rows {
-		if !keep(r) {
+	out.byID = make([]int32, len(t.byID))
+	for i := range out.byID {
+		out.byID[i] = noRow
+	}
+	for i := range t.ids {
+		row := t.Row(i)
+		if !keep(row) {
 			continue
 		}
-		row := make([]Value, len(r))
-		copy(row, r)
-		out.rows = append(out.rows, row)
+		for c, v := range row {
+			out.cols[c].appendVal(v)
+		}
 		out.ids = append(out.ids, t.ids[i])
-		out.byID[t.ids[i]] = len(out.rows) - 1
+		out.byID[t.ids[i]] = int32(len(out.ids) - 1)
 	}
 	return out
 }
 
 // SortBy stably sorts rows by the given column, ascending unless desc.
 func (t *Table) SortBy(col int, desc bool) {
-	idx := make([]int, len(t.rows))
+	idx := make([]int, len(t.ids))
 	for i := range idx {
 		idx[i] = i
 	}
+	c := t.cols[col]
 	sort.SliceStable(idx, func(a, b int) bool {
-		c := t.rows[idx[a]][col].Compare(t.rows[idx[b]][col])
+		r := c.cmp(idx[a], idx[b])
 		if desc {
-			return c > 0
+			return r > 0
 		}
-		return c < 0
+		return r < 0
 	})
-	rows := make([][]Value, len(t.rows))
+	for _, cl := range t.cols {
+		cl.permute(idx)
+	}
 	ids := make([]TupleID, len(t.ids))
 	for to, from := range idx {
-		rows[to] = t.rows[from]
 		ids[to] = t.ids[from]
 	}
-	t.rows, t.ids = rows, ids
+	t.ids = ids
 	for i, id := range t.ids {
-		t.byID[id] = i
+		t.byID[id] = int32(i)
 	}
 }
 
@@ -255,11 +339,11 @@ func (t *Table) SortBy(col int, desc bool) {
 // then utilize the string similarity score").
 func (t *Table) ConcatRow(i int) string {
 	var b strings.Builder
-	for c, v := range t.rows[i] {
+	for c, col := range t.cols {
 		if c > 0 {
 			b.WriteByte(' ')
 		}
-		b.WriteString(v.String())
+		b.WriteString(col.get(i).String())
 	}
 	return b.String()
 }
@@ -274,12 +358,12 @@ func (t *Table) String() string {
 		b.WriteString(c.Name)
 	}
 	b.WriteByte('\n')
-	for i := range t.rows {
+	for i := range t.ids {
 		for c := range t.schema {
 			if c > 0 {
 				b.WriteString(" | ")
 			}
-			b.WriteString(t.rows[i][c].String())
+			b.WriteString(t.cols[c].get(i).String())
 		}
 		b.WriteByte('\n')
 	}

@@ -155,10 +155,20 @@ func ParseValue(field string, kind Kind) (Value, error) {
 	return Num(f), nil
 }
 
+// isNullSpelling matches the accepted NA spellings case-insensitively
+// without allocating (strings.ToUpper copied every CSV field; at 5M+
+// tuples that alone dominated load allocations — see the assertion in
+// TestIsNullSpellingNoAllocs).
 func isNullSpelling(s string) bool {
-	switch strings.ToUpper(s) {
-	case "", "N.A.", "NA", "N/A", "NULL", "NAN", "NONE":
+	switch len(s) {
+	case 0:
 		return true
+	case 2:
+		return strings.EqualFold(s, "NA")
+	case 3:
+		return strings.EqualFold(s, "N/A") || strings.EqualFold(s, "NAN")
+	case 4:
+		return strings.EqualFold(s, "N.A.") || strings.EqualFold(s, "NULL") || strings.EqualFold(s, "NONE")
 	}
 	return false
 }

@@ -90,8 +90,8 @@ func (fe *FeatureExtractor) Width() int {
 // Features computes the feature vector for tuple rows a and b of t, which
 // must have the extractor's schema.
 func (fe *FeatureExtractor) Features(t *dataset.Table, a, b dataset.TupleID) []float64 {
-	ra, okA := t.RowByID(a)
-	rb, okB := t.RowByID(b)
+	ia, okA := t.RowIndex(a)
+	ib, okB := t.RowIndex(b)
 	out := make([]float64, 0, fe.Width())
 	if !okA || !okB {
 		// A vanished tuple (merged away) matches nothing; emit the most
@@ -103,7 +103,7 @@ func (fe *FeatureExtractor) Features(t *dataset.Table, a, b dataset.TupleID) []f
 		return out[:fe.Width()]
 	}
 	for c, col := range fe.schema {
-		va, vb := ra[c], rb[c]
+		va, vb := t.Get(ia, c), t.Get(ib, c)
 		if col.Kind == dataset.String {
 			sa, okSA := va.Text()
 			sb, okSB := vb.Text()

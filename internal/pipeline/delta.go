@@ -177,7 +177,10 @@ func (p *deltaPricer) price(h benefit.Hypothesis) (float64, bool) {
 		if !ok {
 			return 0, false
 		}
-		ov := &cellOverride{id: h.ID, col: p.s.yCol, val: dataset.Num(h.Value)}
+		ov := p.s.table.Overlay()
+		if ov.Set(h.ID, p.s.yCol, dataset.Num(h.Value)) != nil {
+			return 0, false
+		}
 		return p.eval([]int{gi}, [][]dataset.TupleID{p.groups[gi]}, p.s.std, ov)
 
 	case benefit.AApprove:
@@ -364,7 +367,7 @@ func (p *deltaPricer) sameGroups(dirty map[int]struct{}) ([]int, [][]dataset.Tup
 // eval materializes the delta — removed base groups and regrouped member
 // lists — into the hypothetical chart and returns its distance from the
 // base.
-func (p *deltaPricer) eval(removed []int, regrouped [][]dataset.TupleID, std map[string]*goldenrec.Standardizer, ov *cellOverride) (float64, bool) {
+func (p *deltaPricer) eval(removed []int, regrouped [][]dataset.TupleID, std map[string]*goldenrec.Standardizer, ov *dataset.Overlay) (float64, bool) {
 	ranks := make([]int64, 0, len(removed))
 	for _, gi := range removed {
 		if p.hasRow[gi] {

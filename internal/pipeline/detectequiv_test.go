@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"visclean/internal/datagen"
@@ -309,13 +310,27 @@ func TestAMergeChangesImputationNeighbors(t *testing.T) {
 			rowsOf[txt] = append(rowsOf[txt], r)
 		}
 	}
+	// Pick the pair deterministically — map iteration order must not
+	// choose it, or the test asserts a different merge every run (some
+	// merges legitimately leave the probed row's top-k unchanged).
+	venues := make([]string, 0, len(rowsOf))
+	for v := range rowsOf {
+		venues = append(venues, v)
+	}
+	sort.Strings(venues)
 	var v1, v2 string
 	byCanon := map[string][]string{}
-	for v := range rowsOf {
+	canons := []string{}
+	for _, v := range venues {
 		c := d.Truth.CanonicalValue("Venue", v)
+		if len(byCanon[c]) == 0 {
+			canons = append(canons, c)
+		}
 		byCanon[c] = append(byCanon[c], v)
 	}
-	for _, vars := range byCanon {
+	sort.Strings(canons)
+	for _, c := range canons {
+		vars := byCanon[c]
 		for i := 0; i < len(vars) && v1 == ""; i++ {
 			for j := i + 1; j < len(vars); j++ {
 				if stringsim.Jaccard(vars[i], vars[j]) < 1 {
@@ -323,6 +338,9 @@ func TestAMergeChangesImputationNeighbors(t *testing.T) {
 					break
 				}
 			}
+		}
+		if v1 != "" {
+			break
 		}
 	}
 	if v1 == "" {

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"visclean/internal/datagen"
+	"visclean/internal/vql"
+)
+
+// seedRowStoreBytesPerRow is the measured heap footprint of the
+// pre-columnar row store at scale 0.05 (dataset + ground truth,
+// 483.7 B/row — see DESIGN.md §11). The scale harness bounds the
+// columnar engine against 2× the proportional extrapolation of this.
+const seedRowStoreBytesPerRow = 484
+
+func heapMB(t *testing.T) float64 {
+	t.Helper()
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapAlloc) / 1e6
+}
+
+// TestScaleDetect is the 100×-paper-size harness: generate D1 at
+// VISCLEAN_SCALE (e.g. 100 ≈ 5.05M tuples), build a session over it and
+// run one full detect pass, asserting the heap stays under 2× the
+// proportional row-store footprint. Gated behind an env var because a
+// 5M-tuple run takes minutes and belongs to the scale lab, not tier-1:
+//
+//	VISCLEAN_SCALE=100 go test -run TestScaleDetect -timeout 60m ./internal/pipeline/
+func TestScaleDetect(t *testing.T) {
+	spec := os.Getenv("VISCLEAN_SCALE")
+	if spec == "" {
+		t.Skip("set VISCLEAN_SCALE (e.g. 100 for ~5M tuples) to run the at-scale harness")
+	}
+	scale, err := strconv.ParseFloat(spec, 64)
+	if err != nil {
+		t.Fatalf("bad VISCLEAN_SCALE %q: %v", spec, err)
+	}
+
+	before := heapMB(t)
+	t0 := time.Now()
+	d := datagen.D1(datagen.Config{Scale: scale, Seed: 1})
+	rows := d.Dirty.NumRows()
+	t.Logf("generated %d tuples in %v, heap %.1f MB", rows, time.Since(t0), heapMB(t)-before)
+
+	q := vql.MustParse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
+	t0 = time.Now()
+	s, err := NewSession(d.Dirty, q, d.KeyColumns, Config{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("session built in %v (blocking, bootstrap, clustering), heap %.1f MB", time.Since(t0), heapMB(t)-before)
+
+	t0 = time.Now()
+	qs := s.detectQuestions()
+	detectTime := time.Since(t0)
+	after := heapMB(t)
+	t.Logf("detect pass in %v: %d T, %d A, %d M, %d O questions",
+		detectTime, len(qs.T), len(qs.A), len(qs.M), len(qs.O))
+
+	budget := 2 * seedRowStoreBytesPerRow * float64(rows) / 1e6
+	t.Logf("heap after detect %.1f MB, budget (2× proportional row store) %.1f MB", after-before, budget)
+	if after-before > budget {
+		t.Fatalf("heap %.1f MB exceeds 2× proportional row-store footprint %.1f MB", after-before, budget)
+	}
+	if len(qs.T)+len(qs.A)+len(qs.M)+len(qs.O) == 0 {
+		t.Fatal("detect found no questions at scale — harness is not exercising the pipeline")
+	}
+}

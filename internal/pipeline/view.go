@@ -10,27 +10,20 @@ import (
 	"visclean/internal/vis"
 )
 
-// cellOverride substitutes one cell's value while building a view — the
-// pure-function replacement for the old "write the hypothetical repair
-// into the working table, execute, restore" dance, which made M/O
-// hypothesis pricing unsafe to run on more than one goroutine.
-type cellOverride struct {
-	id  dataset.TupleID
-	col int
-	val dataset.Value
-}
-
 // buildView derives the cleaned relation the visualization runs over:
 // entity clusters consolidate into one record each (golden record), and
 // every A-question column is rewritten to its canonical value. The
-// session's working table is untouched. A non-nil override substitutes
-// one cell on the fly (hypothetical M/O repairs).
+// session's working table is untouched. A non-nil overlay substitutes
+// cells on the fly (hypothetical M/O repairs) — the copy-on-write view
+// from dataset.Overlay, which replaced the single-cell cellOverride
+// struct and prices hypotheses at O(touched cells) without ever writing
+// the shared table.
 //
 // Consolidation resolves each column by majority vote over the cluster's
 // non-null values; numeric ties resolve to the median (the paper's
 // ground-truth Table II consolidates Elaps' 42 and 44 citations to 43),
 // string ties to the lexicographically smallest most-frequent value.
-func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardizer, ov *cellOverride) *dataset.Table {
+func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardizer, ov *dataset.Overlay) *dataset.Table {
 	view := dataset.NewTable(s.table.Schema())
 	for _, group := range cl.Groups(1) {
 		if out, ok := s.viewRowFor(group, std, ov); ok {
@@ -44,11 +37,13 @@ func (s *Session) buildView(cl *em.Clusters, std map[string]*goldenrec.Standardi
 // per-group core of buildView, exposed separately so the incremental
 // hypothesis pricer can rebuild exactly the rows a hypothesis perturbs.
 // ok is false when the group yields no row (vanished tuple).
-func (s *Session) viewRowFor(group []dataset.TupleID, std map[string]*goldenrec.Standardizer, ov *cellOverride) ([]dataset.Value, bool) {
+func (s *Session) viewRowFor(group []dataset.TupleID, std map[string]*goldenrec.Standardizer, ov *dataset.Overlay) ([]dataset.Value, bool) {
 	schema := s.table.Schema()
 	cell := func(id dataset.TupleID, c int, v dataset.Value) dataset.Value {
-		if ov != nil && ov.id == id && ov.col == c {
-			return ov.val
+		if ov != nil {
+			if pv, ok := ov.Patch(id, c); ok {
+				return pv
+			}
 		}
 		return v
 	}
@@ -66,12 +61,12 @@ func (s *Session) viewRowFor(group []dataset.TupleID, std map[string]*goldenrec.
 	}
 
 	if len(group) == 1 {
-		row, ok := s.table.RowByID(group[0])
-		if !ok {
+		if _, ok := s.table.RowIndex(group[0]); !ok {
 			return nil, false
 		}
-		out := make([]dataset.Value, len(row))
-		for c, v := range row {
+		out := make([]dataset.Value, len(schema))
+		for c := range schema {
+			v, _ := s.table.GetByID(group[0], c)
 			out[c] = canonical(c, cell(group[0], c, v))
 		}
 		return out, true
@@ -190,16 +185,14 @@ func (s *Session) hypotheticalVis(h benefit.Hypothesis) *vis.Data {
 		override[h.Column] = clone
 		return s.execView(s.clusters, override, nil)
 	case benefit.MImpute, benefit.ORepair:
-		if _, ok := s.table.RowIndex(h.ID); !ok {
+		// Overlay.Set enforces both the id's existence and the numeric
+		// kind of the measure column — the checks the old
+		// write-then-restore path got for free from Table.Set.
+		ov := s.table.Overlay()
+		if ov.Set(h.ID, s.yCol, dataset.Num(h.Value)) != nil {
 			return nil
 		}
-		// A numeric repair only applies to a numeric measure column —
-		// the same check the old write-then-restore path got for free
-		// from Table.Set's kind enforcement.
-		if s.table.Schema()[s.yCol].Kind != dataset.Float {
-			return nil
-		}
-		return s.execView(s.clusters, s.std, &cellOverride{id: h.ID, col: s.yCol, val: dataset.Num(h.Value)})
+		return s.execView(s.clusters, s.std, ov)
 	default:
 		return nil
 	}
@@ -279,7 +272,7 @@ func cloneStdMap(in map[string]*goldenrec.Standardizer) map[string]*goldenrec.St
 
 // execView builds the view and executes the query, returning nil on
 // execution errors (hypotheses must never abort an iteration).
-func (s *Session) execView(cl *em.Clusters, std map[string]*goldenrec.Standardizer, ov *cellOverride) *vis.Data {
+func (s *Session) execView(cl *em.Clusters, std map[string]*goldenrec.Standardizer, ov *dataset.Overlay) *vis.Data {
 	view := s.buildView(cl, std, ov)
 	d, err := s.query.Execute(view)
 	if err != nil {

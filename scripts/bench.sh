@@ -14,6 +14,13 @@
 # end-to-end progression smoke. All variants are cross-checked
 # bit-identical by the equivalence suites scripts/check.sh runs.
 #
+# BenchmarkTableOps and BenchmarkCloneVsOverlay (bench_table_test.go)
+# cover the columnar dataset engine: raw cell scans, id-indexed reads,
+# column extraction, sort, append, and the Clone-vs-Overlay comparison
+# that justifies the copy-on-write layer. They run with -benchmem so the
+# JSON records B/op and allocs/op alongside ns/op — the allocation
+# counts are the regression surface scripts/check.sh gates on.
+#
 # After the go benches, cmd/loadgen storms a self-contained two-shard
 # cluster (router + shared snapshot dir, all in one process) with 200
 # concurrent oracle-backed sessions and writes BENCH_load.json: answer
@@ -24,11 +31,15 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 loadout="${2:-BENCH_load.json}"
 
 raw=$(go test -run xxx -bench 'BenchmarkAnnotate|BenchmarkIterationPhases|BenchmarkFig10' -benchtime=1x -count=1 . 2>&1)
 echo "$raw"
+
+tableraw=$(go test -run xxx -bench 'BenchmarkTableOps|BenchmarkCloneVsOverlay' -benchmem -count=1 . 2>&1)
+echo "$tableraw"
+raw=$(printf '%s\n%s' "$raw" "$tableraw")
 
 echo "$raw" | awk -v out="$out" '
 /^Benchmark/ {

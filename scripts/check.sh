@@ -7,8 +7,10 @@
 # cannot rot. The smoke also guards the incremental engines' reason to
 # exist: if BenchmarkAnnotate's Workers=1 ns/op or the Incremental
 # iteration-phase detect_µs regresses to more than 2x the committed
-# baseline (BENCH_pr3.json / BENCH_pr7.json), the check fails. CI and
-# pre-commit both run this.
+# baseline (BENCH_pr3.json / BENCH_pr7.json), the check fails. The
+# columnar dataset engine gets the same treatment via BENCH_pr8.json:
+# table-ops ns/op must stay within 2x and the zero-allocation scan path
+# must not start allocating. CI and pre-commit both run this.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -68,6 +70,35 @@ if [ -f BENCH_pr7.json ]; then
     fi
 else
     echo "== SKIP detect regression guard: no BENCH_pr7.json baseline in this checkout — generate one with scripts/bench.sh"
+fi
+
+echo "== table benchmark smoke (columnar engine, -benchmem)"
+tsmoke=$(go test -run xxx -bench 'BenchmarkTableOps/NumericColumn$|BenchmarkTableOps/Scan$|BenchmarkCloneVsOverlay' -benchmem -benchtime=100x .)
+echo "$tsmoke"
+
+if [ -f BENCH_pr8.json ]; then
+    tbase=$(awk -F'ns_per_op": ' '/"BenchmarkTableOps\/NumericColumn"/ {split($2, a, /[,}]/); print a[1]}' BENCH_pr8.json)
+    tcur=$(echo "$tsmoke" | awk '$1 ~ /^BenchmarkTableOps\/NumericColumn/ {print $3}')
+    if [ -n "$tbase" ] && [ -n "$tcur" ]; then
+        echo "== table-ops regression guard: NumericColumn current ${tcur} ns/op vs baseline ${tbase} ns/op"
+        awk -v c="$tcur" -v b="$tbase" 'BEGIN {
+            if (c > 2 * b) { printf "FAIL: table-ops ns/op regressed more than 2x (%s > 2 * %s)\n", c, b; exit 1 }
+        }'
+    else
+        echo "== SKIP table-ops regression guard: BENCH_pr8.json present but unparsable (baseline='${tbase}', current='${tcur}') — regenerate with scripts/bench.sh"
+    fi
+    abase=$(awk -F'"allocs/op": ' '/"BenchmarkTableOps\/Scan"/ {split($2, a, /[,}]/); print a[1]}' BENCH_pr8.json)
+    acur=$(echo "$tsmoke" | awk '$1 ~ /^BenchmarkTableOps\/Scan/ {for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i}')
+    if [ -n "$abase" ] && [ -n "$acur" ]; then
+        echo "== alloc regression guard: Scan current ${acur} allocs/op vs baseline ${abase} allocs/op"
+        awk -v c="$acur" -v b="$abase" 'BEGIN {
+            if (c + 0 > 2 * b && c + 0 > 0) { printf "FAIL: scan allocs/op regressed (%s > 2 * %s) — the zero-allocation Get path is gone\n", c, b; exit 1 }
+        }'
+    else
+        echo "== SKIP alloc regression guard: BENCH_pr8.json present but unparsable (baseline='${abase}', current='${acur}') — regenerate with scripts/bench.sh"
+    fi
+else
+    echo "== SKIP table regression guards: no BENCH_pr8.json baseline in this checkout — generate one with scripts/bench.sh"
 fi
 
 echo "== docs gate (package docs + doc links)"
