@@ -11,6 +11,7 @@ package visclean
 import (
 	"testing"
 
+	"visclean/internal/artifact"
 	"visclean/internal/datagen"
 	"visclean/internal/experiments"
 	"visclean/internal/oracle"
@@ -297,6 +298,45 @@ func BenchmarkIterationPhases(b *testing.B) {
 			b.ReportMetric(fallbacks, "fallbacks/op")
 		})
 	}
+}
+
+// BenchmarkSessionSetup measures a session's construction cost on the
+// Fig 10 configuration — entity-matching bootstrap (features + random
+// forest), kNN token index, per-column standardizers and the base
+// visualization — under the shared artifact cache (DESIGN.md §12).
+// Cold builds every artifact into a fresh cache (first session on a
+// server); Warm serves every artifact from a pre-populated cache (every
+// later session over the same dataset in a multi-tenant server). The
+// Cold/Warm ns/op ratio is the setup speedup the cache buys;
+// scripts/check.sh gates the Warm variant against BENCH_pr9.json.
+func BenchmarkSessionSetup(b *testing.B) {
+	d := datagen.D1(datagen.Config{Scale: benchScale, Seed: 1})
+	q := vql.MustParse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`)
+	setup := func(b *testing.B, cache *artifact.Cache) {
+		s, err := pipeline.NewSession(d.Dirty, q, d.KeyColumns, pipeline.Config{
+			Seed: 1, Workers: 1, Artifacts: cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.CurrentVis(); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+	b.Run("Cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			setup(b, artifact.New(0))
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		cache := artifact.New(0)
+		setup(b, cache) // populate once; every timed setup hits
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			setup(b, cache)
+		}
+	})
 }
 
 // BenchmarkAblation_DesignChoices measures what the documented design

@@ -12,6 +12,7 @@
 //	viscleanweb -dataset D1 -scale 0.01 -addr :8080
 //	viscleanweb -dataset D1 -scale 0.01 -auto          # oracle answers, watch it clean
 //	viscleanweb -snapshots ./sessions                  # sessions survive restarts
+//	viscleanweb -artifact-cache-mb 512                 # grow the shared artifact cache (0 disables)
 //
 // Then open http://localhost:8080. The flags set the default spec for
 // new sessions; POST /api/session bodies override per session.
@@ -67,21 +68,22 @@ func main() {
 	workers := flag.Int("workers", 4, "max concurrently computing iterations")
 	idleTTL := flag.Duration("idle-ttl", 15*time.Minute, "idle time before a session is evicted to disk")
 	snapshots := flag.String("snapshots", "", "directory for session snapshots (empty: no persistence)")
+	artifactMB := flag.Int("artifact-cache-mb", 256, "shared artifact cache budget in MiB; 0 disables the cache, negative removes the budget")
 	drainWait := flag.Duration("drain-wait", 0, "on SIGTERM, stay in draining state up to this long so a cluster router can migrate sessions off before shutdown")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes goroutine and heap dumps)")
 	faults := flag.String("faults", "", "DEBUG: arm failpoints, e.g. 'service/persist.rename=error@2;service/persist.sync=delay:50ms@every3' (grammar: internal/fault, catalog: DESIGN.md §8)")
 	flag.Parse()
 
 	if err := run(*dsName, *queryStr, *scale, *k, *seed, *addr, *auto,
-		*maxSessions, *workers, *idleTTL, *snapshots, *drainWait, *pprofOn, *faults); err != nil {
+		*maxSessions, *workers, *idleTTL, *snapshots, *artifactMB, *drainWait, *pprofOn, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "viscleanweb:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dsName, queryStr string, scale float64, k int, seed int64, addr string, auto bool,
-	maxSessions, workers int, idleTTL time.Duration, snapshots string, drainWait time.Duration,
-	pprofOn bool, faults string) error {
+	maxSessions, workers int, idleTTL time.Duration, snapshots string, artifactMB int,
+	drainWait time.Duration, pprofOn bool, faults string) error {
 	if faults != "" {
 		// Debug-only: deliberately degrade the server to rehearse failure
 		// handling (DESIGN.md §8). Loud by design.
@@ -100,12 +102,21 @@ func run(dsName, queryStr string, scale float64, k int, seed int64, addr string,
 			return err
 		}
 	}
-	reg := service.NewRegistry(service.Config{
+	scfg := service.Config{
 		MaxSessions: maxSessions,
 		Workers:     workers,
 		IdleTTL:     idleTTL,
 		SnapshotDir: snapshots,
-	})
+	}
+	switch {
+	case artifactMB == 0:
+		scfg.NoArtifactCache = true
+	case artifactMB < 0:
+		scfg.ArtifactBudget = -1 // unlimited
+	default:
+		scfg.ArtifactBudget = int64(artifactMB) << 20
+	}
+	reg := service.NewRegistry(scfg)
 	if n := reg.RestoreAll(); n > 0 {
 		log.Printf("viscleanweb: restored %d session(s) from %s", n, snapshots)
 	}

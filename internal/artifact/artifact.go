@@ -1,0 +1,218 @@
+// Package artifact is the cross-session shared artifact cache
+// (DESIGN.md §12): a refcounted, byte-budgeted store of immutable
+// per-dataset structures keyed by (dataset fingerprint, kind). Many
+// concurrent sessions over the same data each rebuild identical token
+// indexes, frozen standardizers, similarity-join posting lists, match
+// candidates and first-trained forests; the cache lets the first session
+// build each one and every later session adopt it.
+//
+// The contract that keeps sharing deterministic: a cached artifact must
+// be a pure function of the table content named by the fingerprint (plus
+// whatever parameters the kind string encodes), and strictly read-only
+// once stored. Sessions that need mutable state clone the shared
+// skeleton privately (see internal/pipeline's artifact wrappers).
+//
+// Construction is single-flight: the first Acquire of a missing key runs
+// the builder while concurrent acquirers of the same key block until it
+// finishes; they all share the one result. Handles are refcounted —
+// an artifact with outstanding handles is pinned and never evicted, no
+// matter how far over budget the cache is. When the total size exceeds
+// the byte budget, unreferenced artifacts are evicted least recently
+// used first.
+package artifact
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Artifact is anything the cache can hold. Bytes reports the artifact's
+// approximate heap footprint; it is read once at insert time and drives
+// budget accounting, so it must be stable.
+type Artifact interface {
+	Bytes() int64
+}
+
+// Cache is the shared store. The zero value is not usable; call New.
+// All methods are safe for concurrent use.
+type Cache struct {
+	budget int64 // ≤ 0: unlimited
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	idle    *list.List // unreferenced entries, front = least recently used
+	bytes   int64      // total Bytes() of built entries
+}
+
+// entry is one (fingerprint, kind) slot. done closes when the build
+// finishes; art/err are valid only after that.
+type entry struct {
+	key  string
+	refs int
+	done chan struct{}
+	art  Artifact
+	err  error
+	size int64         // art.Bytes() captured at insert
+	elem *list.Element // position in idle when refs == 0, else nil
+}
+
+// Handle is one session's reference to a cached artifact. Release it
+// when the session closes; an unreleased handle pins the artifact
+// forever.
+type Handle struct {
+	cache *Cache
+	e     *entry
+	once  sync.Once
+}
+
+// New returns a cache that evicts unreferenced artifacts LRU-first once
+// total size exceeds budget bytes. budget ≤ 0 disables eviction.
+func New(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		entries: make(map[string]*entry),
+		idle:    list.New(),
+	}
+}
+
+// Acquire returns a handle on the artifact for (fingerprint, kind),
+// running build if no session has produced it yet. Concurrent Acquires
+// of the same key share one build; the callers that waited observe the
+// single-flight wait metric. A failed build is not cached: the error
+// propagates to every waiter and the next Acquire retries.
+//
+// kind must encode every parameter the artifact depends on beyond the
+// table content (thresholds, seeds, column choices) so two sessions
+// that would build different artifacts can never share a key.
+func (c *Cache) Acquire(fingerprint, kind string, build func() (Artifact, error)) (*Handle, error) {
+	key := fingerprint + "\x00" + kind
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.ref(c)
+		c.mu.Unlock()
+		obsHits.Inc()
+		if waited := waitBuilt(e); waited > 0 {
+			obsWait.Observe(waited.Seconds())
+		}
+		if e.err != nil {
+			// The build we piggybacked on failed; the builder already
+			// removed the entry, so there is nothing to unref.
+			return nil, e.err
+		}
+		return &Handle{cache: c, e: e}, nil
+	}
+
+	e := &entry{key: key, refs: 1, done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	obsMisses.Inc()
+
+	art, err := build()
+
+	c.mu.Lock()
+	e.art, e.err = art, err
+	if err != nil {
+		delete(c.entries, key)
+	} else {
+		e.size = art.Bytes()
+		c.bytes += e.size
+		c.evictLocked()
+	}
+	obsBytes.Set(c.bytes)
+	obsEntries.Set(int64(len(c.entries)))
+	close(e.done)
+	c.mu.Unlock()
+
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{cache: c, e: e}, nil
+}
+
+// waitBuilt blocks until e's build finishes and returns how long it
+// waited (0 when the artifact was already built).
+func waitBuilt(e *entry) time.Duration {
+	select {
+	case <-e.done:
+		return 0
+	default:
+	}
+	start := time.Now()
+	<-e.done
+	return time.Since(start)
+}
+
+// ref takes one reference, removing the entry from the idle list if this
+// is the first. Callers hold c.mu.
+func (e *entry) ref(c *Cache) {
+	e.refs++
+	if e.elem != nil {
+		c.idle.Remove(e.elem)
+		e.elem = nil
+	}
+}
+
+// Artifact returns the cached value. It panics if the handle came from a
+// failed Acquire (which returns a nil handle alongside the error).
+func (h *Handle) Artifact() Artifact { return h.e.art }
+
+// Release drops this handle's reference. Idempotent: extra calls are
+// no-ops, so defensive double-release in teardown paths is safe.
+func (h *Handle) Release() {
+	h.once.Do(func() {
+		c := h.cache
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		e := h.e
+		e.refs--
+		if e.refs > 0 {
+			return
+		}
+		// Last reference gone: the entry becomes evictable. Most
+		// recently used sits at the back of the idle list.
+		if c.entries[e.key] == e {
+			e.elem = c.idle.PushBack(e)
+			c.evictLocked()
+			obsBytes.Set(c.bytes)
+			obsEntries.Set(int64(len(c.entries)))
+		}
+	})
+}
+
+// evictLocked drops unreferenced entries LRU-first until the cache fits
+// its budget. Referenced entries are pinned: the cache can stay over
+// budget indefinitely if sessions hold everything. Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		front := c.idle.Front()
+		if front == nil {
+			return
+		}
+		e := front.Value.(*entry)
+		c.idle.Remove(front)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		obsEvictions.Inc()
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache for tests and
+// debugging; the live metrics are exported via internal/obs.
+type Stats struct {
+	Entries int   // built or building entries currently cached
+	Idle    int   // entries with no outstanding handles
+	Bytes   int64 // total Bytes() of built entries
+}
+
+// Stats returns the current cache occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Entries: len(c.entries), Idle: c.idle.Len(), Bytes: c.bytes}
+}

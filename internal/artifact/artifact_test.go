@@ -1,0 +1,217 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fake is a test artifact with a fixed size.
+type fake struct {
+	id   int
+	size int64
+}
+
+func (f *fake) Bytes() int64 { return f.size }
+
+func build(id int, size int64) func() (Artifact, error) {
+	return func() (Artifact, error) { return &fake{id: id, size: size}, nil }
+}
+
+func TestAcquireSharesOneBuild(t *testing.T) {
+	c := New(0)
+	var builds atomic.Int64
+	const n = 16
+	arts := make([]Artifact, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := c.Acquire("fp", "kind", func() (Artifact, error) {
+				builds.Add(1)
+				return &fake{id: 1, size: 10}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			arts[i] = h.Artifact()
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("builder ran %d times, want 1 (single-flight)", builds.Load())
+	}
+	for i := 1; i < n; i++ {
+		if arts[i] != arts[0] {
+			t.Fatal("concurrent acquirers got different artifacts")
+		}
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("stats = %+v, want 1 entry of 10 bytes", st)
+	}
+}
+
+func TestBuildErrorRetries(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	if _, err := c.Acquire("fp", "k", func() (Artifact, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed build left %d entries cached", st.Entries)
+	}
+	// The failure is not cached: the next Acquire runs the builder again.
+	h, err := c.Acquire("fp", "k", build(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Artifact().(*fake).id != 2 {
+		t.Fatal("retry did not run the new builder")
+	}
+}
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	c := New(100)
+	held, err := c.Acquire("fp", "held", build(1, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn unrelated artifacts far past the budget. The held artifact
+	// has an outstanding handle and must never be evicted.
+	for i := 0; i < 10; i++ {
+		h, err := c.Acquire("fp", fmt.Sprintf("churn%d", i), build(100+i, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	h2, err := c.Acquire("fp", "held", func() (Artifact, error) {
+		t.Error("held artifact was evicted while referenced")
+		return &fake{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Artifact() != held.Artifact() {
+		t.Fatal("re-acquire returned a different artifact")
+	}
+	h2.Release()
+	held.Release()
+}
+
+func TestEvictionIsLRU(t *testing.T) {
+	c := New(350)
+	for _, kind := range []string{"a", "b", "c"} {
+		h, err := c.Acquire("fp", kind, build(0, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	// Touch "a" so "b" becomes least recently used.
+	h, err := c.Acquire("fp", "a", func() (Artifact, error) {
+		t.Error("a should still be cached")
+		return &fake{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	// Inserting "d" overflows the budget by one entry: "b" must go.
+	h, err = c.Acquire("fp", "d", build(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	rebuilt := map[string]bool{}
+	for _, kind := range []string{"a", "b", "c", "d"} {
+		kind := kind
+		h, err := c.Acquire("fp", kind, func() (Artifact, error) {
+			rebuilt[kind] = true
+			return &fake{size: 100}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	if rebuilt["b"] != true {
+		t.Error("LRU entry b was not evicted")
+	}
+	if rebuilt["a"] {
+		t.Error("recently used entry a was evicted before b")
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	c := New(0)
+	h, err := c.Acquire("fp", "k", build(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Acquire("fp", "k", build(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	h.Release() // double release must not steal h2's reference
+	if st := c.Stats(); st.Idle != 0 {
+		t.Fatalf("idle = %d after double release with a live handle, want 0", st.Idle)
+	}
+	h2.Release()
+	if st := c.Stats(); st.Idle != 1 {
+		t.Fatalf("idle = %d after final release, want 1", st.Idle)
+	}
+}
+
+func TestUnlimitedBudgetNeverEvicts(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 50; i++ {
+		h, err := c.Acquire("fp", fmt.Sprintf("k%d", i), build(i, 1<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	if st := c.Stats(); st.Entries != 50 {
+		t.Fatalf("entries = %d, want 50 (budget 0 means no eviction)", st.Entries)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	// Hammer a tiny cache from many goroutines; the race detector and
+	// the internal accounting assertions below are the test.
+	c := New(300)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				kind := fmt.Sprintf("k%d", (g+i)%13)
+				h, err := c.Acquire("fp", kind, build(i, 50))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if h.Artifact() == nil {
+					t.Error("nil artifact from successful acquire")
+					return
+				}
+				h.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > 300 {
+		t.Fatalf("cache settled at %d bytes with no handles outstanding, budget 300", st.Bytes)
+	}
+	if st.Idle != st.Entries {
+		t.Fatalf("idle = %d but entries = %d with no handles outstanding", st.Idle, st.Entries)
+	}
+}

@@ -1,0 +1,24 @@
+package artifact
+
+// Metrics for the shared artifact cache (DESIGN.md §5, §12). The cache
+// mutates these on every Acquire/Release/eviction; with obs disabled
+// each is a gated atomic no-op, and nothing here feeds back into cache
+// decisions, so determinism is untouched either way.
+
+import "visclean/internal/obs"
+
+var (
+	obsHits = obs.Default.Counter("visclean_artifact_hits_total",
+		"Acquires served by an already-cached (or in-flight) artifact.")
+	obsMisses = obs.Default.Counter("visclean_artifact_misses_total",
+		"Acquires that had to run the artifact builder.")
+	obsEvictions = obs.Default.Counter("visclean_artifact_evictions_total",
+		"Unreferenced artifacts evicted LRU-first to fit the byte budget.")
+	obsBytes = obs.Default.Gauge("visclean_artifact_bytes",
+		"Total reported Bytes() of cached artifacts.")
+	obsEntries = obs.Default.Gauge("visclean_artifact_entries",
+		"Artifacts currently cached (built or building).")
+	obsWait = obs.Default.Histogram("visclean_artifact_wait_seconds",
+		"Time acquirers spent blocked on another session's single-flight build.",
+		obs.TimeBuckets)
+)

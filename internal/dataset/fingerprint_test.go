@@ -1,0 +1,69 @@
+package dataset
+
+import "testing"
+
+func TestFingerprintContentIdentity(t *testing.T) {
+	a := samplePubs(t)
+	b := samplePubs(t)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("independently built tables with equal content fingerprint differently")
+	}
+	if a.Fingerprint() != a.Clone().Fingerprint() {
+		t.Fatal("clone fingerprints differently than its source")
+	}
+}
+
+func TestFingerprintInternOrderIndependent(t *testing.T) {
+	// Two tables with the same final content whose interners assigned
+	// codes in different orders: the fingerprint must not see the codes.
+	sch := Schema{{Name: "V", Kind: String}}
+	a := NewTable(sch)
+	a.MustAppend([]Value{Str("x")})
+	a.MustAppend([]Value{Str("y")})
+
+	b := NewTable(sch)
+	b.MustAppend([]Value{Str("y")}) // interned first → different code order
+	b.MustAppend([]Value{Str("y")})
+	if err := b.Set(0, 0, Str("x")); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on dictionary code assignment order")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := samplePubs(t)
+	fp := base.Fingerprint()
+
+	edited := samplePubs(t)
+	if err := edited.Set(1, 2, Num(7)); err != nil {
+		t.Fatal(err)
+	}
+	if edited.Fingerprint() == fp {
+		t.Fatal("cell edit did not change the fingerprint")
+	}
+
+	nulled := samplePubs(t)
+	if err := nulled.Set(0, 2, Null(Float)); err != nil {
+		t.Fatal(err)
+	}
+	if nulled.Fingerprint() == fp {
+		t.Fatal("nulling a cell did not change the fingerprint")
+	}
+
+	appended := samplePubs(t)
+	appended.MustAppend([]Value{Str("p"), Str("q"), Num(1)})
+	if appended.Fingerprint() == fp {
+		t.Fatal("appending a row did not change the fingerprint")
+	}
+
+	renamed := NewTable(Schema{
+		{Name: "Title", Kind: String},
+		{Name: "Place", Kind: String},
+		{Name: "Citations", Kind: Float},
+	})
+	if renamed.Fingerprint() == NewTable(pubsSchema()).Fingerprint() {
+		t.Fatal("renaming a column did not change the fingerprint")
+	}
+}

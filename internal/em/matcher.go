@@ -31,6 +31,18 @@ func NewMatcher(t *dataset.Table, cfg rf.Config) *Matcher {
 // overwrites, which is how corrected answers propagate.
 func (m *Matcher) AddLabel(p Pair, match bool) { m.labels[p] = match }
 
+// Forest returns the trained forest, nil before the first successful
+// Train. Forests are immutable after training, so the returned pointer
+// may be shared (the artifact cache does).
+func (m *Matcher) Forest() *rf.Forest { return m.forest }
+
+// SetForest installs a pre-trained forest, warm-starting the matcher
+// from the artifact cache. Callers must only install a forest equal to
+// what Train would produce on the matcher's current labels — rf.Train
+// is deterministic, so a forest trained on the same table content,
+// labels and config qualifies; the determinism suite enforces it.
+func (m *Matcher) SetForest(f *rf.Forest) { m.forest = f }
+
 // Label reports a recorded label and whether one exists.
 func (m *Matcher) Label(p Pair) (match, ok bool) {
 	match, ok = m.labels[p]

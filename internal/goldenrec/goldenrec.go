@@ -211,6 +211,22 @@ func (s *Standardizer) Freeze() {
 	}
 }
 
+// Bytes estimates the standardizer's heap footprint (frequency, parent
+// and canonical maps), for the artifact cache's budget accounting.
+func (s *Standardizer) Bytes() int64 {
+	var b int64
+	for v := range s.freq {
+		b += int64(len(v)) + 48 + 8
+	}
+	for v, p := range s.parent {
+		b += int64(len(v)+len(p)) + 48
+	}
+	for v, c := range s.canon {
+		b += int64(len(v)+len(c)) + 48
+	}
+	return b
+}
+
 // Approve records that v1 and v2 are the same attribute entity.
 func (s *Standardizer) Approve(v1, v2 string) {
 	s.canon = nil

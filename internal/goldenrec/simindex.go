@@ -51,6 +51,26 @@ func NewSimIndex(t *dataset.Table, col int, threshold float64) *SimIndex {
 // Col returns the indexed column.
 func (ix *SimIndex) Col() int { return ix.col }
 
+// Threshold returns the join's similarity cutoff λ.
+func (ix *SimIndex) Threshold() float64 { return ix.threshold }
+
+// Pairs returns the precomputed join result. Read-only for callers; the
+// artifact cache sizes its SimIndex entries from it.
+func (ix *SimIndex) Pairs() []Candidate { return ix.pairs }
+
+// CloneShared returns a SimIndex sharing the immutable pairs slice with
+// a private fresh memo. The join result never changes for fixed table
+// content so it can be shared across sessions, but the memo accretes
+// per-call state, so each session needs its own.
+func (ix *SimIndex) CloneShared() *SimIndex {
+	return &SimIndex{
+		col:       ix.col,
+		threshold: ix.threshold,
+		pairs:     ix.pairs,
+		memo:      stringsim.NewMemo(),
+	}
+}
+
 // ownerInfo counts how many clusters a value occurs in; first is the
 // index of the first such cluster.
 type ownerInfo struct {

@@ -74,6 +74,26 @@ func (ix *Index) rowTokens(row int) map[string]struct{} {
 	return set
 }
 
+// TokenSets returns the per-row token sets backing the index. Both the
+// slice and the sets are shared live state: callers must treat them as
+// read-only. The artifact cache stores raw (canon-free) token sets this
+// way and re-binds them to each session's table via NewIndexFromTokens.
+func (ix *Index) TokenSets() []map[string]struct{} { return ix.tokens }
+
+// NewIndexFromTokens builds an Index over t from precomputed token sets,
+// sharing the set maps with the source. tokens must be what
+// NewIndexCanon(t, skipCol, canon) would have produced for rows it is
+// not later asked to ResetRows — sharing is safe because ResetRows
+// replaces a row's map wholesale, never mutating a set in place.
+func NewIndexFromTokens(t *dataset.Table, skipCol int, canon Canon, tokens []map[string]struct{}) *Index {
+	return &Index{
+		table:   t,
+		skipCol: skipCol,
+		canon:   canon,
+		tokens:  append([]map[string]struct{}(nil), tokens...),
+	}
+}
+
 // ResetRows re-tokenizes the given rows against the table's (and canon's)
 // current state. The pipeline calls it when an approved attribute synonym
 // changes the canonical form of a value those rows carry.

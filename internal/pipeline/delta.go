@@ -81,7 +81,7 @@ type deltaPricer struct {
 func (s *Session) newDeltaPricer(base *vis.Data) *deltaPricer {
 	p := &deltaPricer{
 		s:        s,
-		base:     distance.NewBaseline(s.cfg.Dist, base),
+		base:     s.baselineFor(base),
 		groups:   s.clusters.Groups(1),
 		groupOf:  make(map[dataset.TupleID]int),
 		posting:  make(map[string]map[string][]int),

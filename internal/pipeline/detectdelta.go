@@ -318,7 +318,7 @@ func (d *detectDelta) suggestForK(id dataset.TupleID, k int) (impute.Suggestion,
 func (d *detectDelta) aCandidates(groups [][]dataset.TupleID, col int, threshold float64) []goldenrec.Candidate {
 	ix, ok := d.simIdx[col]
 	if !ok {
-		ix = goldenrec.NewSimIndex(d.s.table, col, threshold)
+		ix = d.s.simIndexFor(col, threshold)
 		d.simIdx[col] = ix
 	}
 	return ix.Candidates(d.s.table, groups)

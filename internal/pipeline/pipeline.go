@@ -9,8 +9,10 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
+	"visclean/internal/artifact"
 	"visclean/internal/dataset"
 	"visclean/internal/distance"
 	"visclean/internal/em"
@@ -133,6 +135,21 @@ type Config struct {
 	// two detect paths are bit-identical (enforced by the
 	// detect-equivalence suite), so the switch only trades speed.
 	NoIncrementalDetect bool
+	// NoArtifactCache disables the cross-session shared artifact cache
+	// for this session even when Artifacts is set: every index,
+	// standardizer and forest is built privately, exactly as before the
+	// cache existed. Same contract as the other ablation switches — the
+	// cached and private paths are bit-identical (enforced by the
+	// determinism suite), so this only trades setup speed.
+	NoArtifactCache bool
+
+	// Artifacts, when set (and NoArtifactCache unset), is the shared
+	// cross-session artifact cache (internal/artifact, DESIGN.md §12).
+	// Session setup acquires the heavy immutables — match candidates,
+	// feature vectors, the first trained forest, token indexes, frozen
+	// standardizers, similarity joins, the pristine chart — from it
+	// instead of building them privately.
+	Artifacts *artifact.Cache
 
 	// TruthVis, when set, lets reports include the distance to the
 	// ground-truth visualization (the experiments' EMD(Q(D), Q(D_g))).
@@ -288,6 +305,18 @@ type Session struct {
 	// that Snapshot/Replay (see history.go) serializes.
 	committed [][]Answer
 	current   []Answer
+
+	// fingerprint keys this session's entries in the shared artifact
+	// cache ("" when the cache is off). artMu guards the retained handle
+	// list: Close may race with a still-running iteration's lazy
+	// acquisitions (see artifacts.go). stdBase caches the per-column
+	// shared standardizer bases; basevis the shared pristine chart.
+	fingerprint string
+	artMu       sync.Mutex
+	artClosed   bool
+	artHandles  []*artifact.Handle
+	stdBase     map[int]*goldenrec.Standardizer
+	basevis     *basevisArtifact
 }
 
 type aKey struct {
@@ -340,12 +369,19 @@ func NewSession(table *dataset.Table, query *vql.Query, keyColumns []int, cfg Co
 			addACol(schema.Index(p.Column))
 		}
 	}
+	if cfg.Artifacts != nil && !cfg.NoArtifactCache {
+		s.fingerprint = table.Fingerprint()
+	}
 	s.rebuildStandardizers()
 
 	s.matcher = em.NewMatcher(s.table, cfg.RF)
-	s.candidates = em.Candidates(s.table, em.BlockingConfig{KeyColumns: keyColumns})
-	s.bootstrapMatcher()
-	s.refreshModel()
+	if boot := s.acquireBootstrap(keyColumns); boot != nil {
+		s.installBootstrap(boot)
+	} else {
+		s.candidates = em.Candidates(s.table, em.BlockingConfig{KeyColumns: keyColumns})
+		s.bootstrapMatcher()
+		s.refreshModel()
+	}
 	return s, nil
 }
 
@@ -510,7 +546,7 @@ func (s *Session) rebuildStandardizers() {
 	schema := s.table.Schema()
 	s.std = map[string]*goldenrec.Standardizer{}
 	for _, c := range s.aColumns {
-		s.std[schema[c].Name] = goldenrec.NewStandardizer(s.table, c)
+		s.std[schema[c].Name] = s.baseStandardizer(c)
 	}
 	for _, ap := range s.aApproved {
 		st := s.std[ap.col]
@@ -610,7 +646,7 @@ func (s *Session) buildClusters(extraConfirm, extraSplit []em.Pair) *em.Clusters
 // standardizers (knnCanon); the value→canonical snapshot taken here is
 // what maintainKnnIndex diffs against after later refreshes.
 func (s *Session) knnIdx() *knn.Index {
-	if s.knnIndex == nil {
+	if s.knnIndex == nil && !s.knnFromArtifact() {
 		s.knnIndex = knn.NewIndexCanon(s.table, s.yCol, s.knnCanon)
 		s.snapshotCanon()
 	}

@@ -137,6 +137,9 @@ func resolve(vals []dataset.Value, kind dataset.Kind) dataset.Value {
 // CurrentVis computes the visualization over the current cleaned view
 // (framework step 7).
 func (s *Session) CurrentVis() (*vis.Data, error) {
+	if v := s.pristineVis(); v != nil {
+		return v, nil
+	}
 	view := s.buildView(s.clusters, s.std, nil)
 	return s.query.Execute(view)
 }

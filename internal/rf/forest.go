@@ -120,6 +120,16 @@ func (f *Forest) Predict(x []float64) int {
 // NumTrees reports the ensemble size.
 func (f *Forest) NumTrees() int { return len(f.trees) }
 
+// NumNodes reports the total node count across all trees, which sizes a
+// forest for the artifact cache's byte accounting.
+func (f *Forest) NumNodes() int {
+	n := 0
+	for _, t := range f.trees {
+		n += t.count()
+	}
+	return n
+}
+
 // MaxDepth reports the deepest tree's height, for introspection in tests.
 func (f *Forest) MaxDepth() int {
 	d := 0

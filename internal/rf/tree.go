@@ -144,3 +144,11 @@ func (nd *node) depth() int {
 	}
 	return l + 1
 }
+
+// count returns the number of nodes in the subtree.
+func (nd *node) count() int {
+	if nd.feature < 0 {
+		return 1
+	}
+	return 1 + nd.left.count() + nd.right.count()
+}

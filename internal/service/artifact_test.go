@@ -1,0 +1,131 @@
+package service
+
+// Registry-level coverage of the shared artifact cache (DESIGN.md §12):
+// the default factory threads the registry's cache into every session,
+// same-content sessions share entries, snapshots record the fingerprint
+// (never the artifacts), restores re-acquire, and closing the last
+// session leaves every entry idle (evictable).
+
+import (
+	"testing"
+)
+
+// runTwoIterations drives a session through two auto-answered
+// iterations and returns its settled state.
+func runTwoIterations(t *testing.T, reg *Registry, id string) State {
+	t.Helper()
+	var st State
+	for i := 0; i < 2; i++ {
+		if err := iterateRetry(reg, id); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		st, err = waitIdle(reg, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Err != "" {
+			t.Fatalf("iteration error: %s", st.Err)
+		}
+	}
+	return st
+}
+
+// TestRegistrySharedArtifactCache: two sessions over identical dataset
+// content share one set of cache entries, their charts bit-match a
+// cache-off registry, and closing both releases every entry to idle.
+func TestRegistrySharedArtifactCache(t *testing.T) {
+	off := newTestRegistry(t, func(c *Config) { c.NoArtifactCache = true })
+	offID, err := off.Create(testSpec(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := chartKey(runTwoIterations(t, off, offID))
+	if st := off.ArtifactStats(); st.Entries != 0 {
+		t.Fatalf("NoArtifactCache registry cached %d artifacts", st.Entries)
+	}
+
+	reg := newTestRegistry(t, nil)
+	idA, err := reg.Create(testSpec(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA := runTwoIterations(t, reg, idA)
+	after1 := reg.ArtifactStats()
+	if after1.Entries == 0 {
+		t.Fatal("default registry cached nothing; the cache is not wired through the factory")
+	}
+
+	idB, err := reg.Create(testSpec(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB := runTwoIterations(t, reg, idB)
+	after2 := reg.ArtifactStats()
+	if after2.Entries != after1.Entries {
+		t.Fatalf("second same-content session grew the cache from %d to %d entries; sharing is broken",
+			after1.Entries, after2.Entries)
+	}
+
+	if got := chartKey(stA); got != want {
+		t.Fatalf("cached session A chart diverged:\n got %s\nwant %s", got, want)
+	}
+	if got := chartKey(stB); got != want {
+		t.Fatalf("cached session B chart diverged:\n got %s\nwant %s", got, want)
+	}
+
+	if err := reg.Close(idA); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(idB); err != nil {
+		t.Fatal(err)
+	}
+	if st := reg.ArtifactStats(); st.Idle != st.Entries {
+		t.Fatalf("after closing every session %d of %d entries are still referenced", st.Entries-st.Idle, st.Entries)
+	}
+}
+
+// TestSnapshotRecordsFingerprintAndRestoreReacquires: the snapshot
+// carries the dataset fingerprint (not the artifacts), and a restored
+// session re-acquires the already-cached entries and resumes on the
+// same trajectory.
+func TestSnapshotRecordsFingerprintAndRestoreReacquires(t *testing.T) {
+	dir := t.TempDir()
+	reg := newTestRegistry(t, func(c *Config) { c.SnapshotDir = dir })
+	id, err := reg.Create(testSpec(5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runTwoIterations(t, reg, id)
+
+	snap, err := ReadSnapshotFile(reg.snapshotPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Fingerprint) != 64 {
+		t.Fatalf("snapshot fingerprint = %q, want a sha256 hex digest", snap.Fingerprint)
+	}
+
+	// Evict the session; the shared entries stay in the registry cache.
+	reg.mu.Lock()
+	s := reg.sessions[id]
+	reg.mu.Unlock()
+	reg.teardown(s, true)
+	entries := reg.ArtifactStats().Entries
+	if entries == 0 {
+		t.Fatal("eviction emptied the artifact cache; entries should outlive sessions")
+	}
+
+	// State() lazily restores from the snapshot, re-acquiring by the
+	// recomputed fingerprint — no new entries, identical chart.
+	after, err := reg.State(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.ArtifactStats().Entries; got != entries {
+		t.Fatalf("restore grew the cache from %d to %d entries; fingerprint re-acquire is broken", entries, got)
+	}
+	if got, want := chartKey(after), chartKey(before); got != want {
+		t.Fatalf("restored session diverged:\n got %s\nwant %s", got, want)
+	}
+}

@@ -27,6 +27,13 @@ type Snapshot struct {
 	Spec        Spec             `json:"spec"`
 	SavedAtUnix int64            `json:"savedAt"`
 	History     pipeline.History `json:"history"`
+	// Fingerprint is the session's dataset content hash (DESIGN.md §12),
+	// recorded for diagnostics. Snapshots never embed cached artifacts —
+	// restore rebuilds the session from Spec+History and re-acquires its
+	// artifacts from the registry's shared cache by this same key, which
+	// is recomputed from the rebuilt table. Empty when the session ran
+	// without a cache.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // WriteSnapshotFile atomically and durably persists a snapshot: the
@@ -154,7 +161,7 @@ func (r *Registry) persistSession(s *Session) error {
 	if r.cfg.SnapshotDir == "" {
 		return nil
 	}
-	snap := Snapshot{ID: s.id, Spec: s.spec, History: s.ps.History()}
+	snap := Snapshot{ID: s.id, Spec: s.spec, History: s.ps.History(), Fingerprint: s.ps.Fingerprint()}
 	path := r.snapshotPath(s.id)
 	start := time.Now()
 	var err error

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"visclean/internal/artifact"
 	"visclean/internal/fault"
 	"visclean/internal/pipeline"
 )
@@ -22,6 +23,10 @@ import (
 type Registry struct {
 	cfg  Config
 	pool *pool
+	// artifacts is the registry-wide shared artifact cache (DESIGN.md
+	// §12): sessions over identical dataset content share their frozen
+	// setup structures through it. Nil when Config.NoArtifactCache.
+	artifacts *artifact.Cache
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -43,12 +48,26 @@ type Registry struct {
 // NewRegistry builds a registry and starts its evictor. Call Shutdown
 // to stop it and persist every live session.
 func NewRegistry(cfg Config) *Registry {
+	// Whether the caller injected a Factory must be decided before
+	// withDefaults fills the field: only the default factory is safe to
+	// swap for the cache-threading one.
+	userFactory := cfg.Factory != nil
 	r := &Registry{
 		cfg:         cfg.withDefaults(),
 		sessions:    make(map[string]*Session),
 		idLocks:     make(map[string]*idLock),
 		stopSweep:   make(chan struct{}),
 		sweeperDone: make(chan struct{}),
+	}
+	if !r.cfg.NoArtifactCache {
+		budget := r.cfg.ArtifactBudget
+		if budget < 0 {
+			budget = 0 // negative Config budget means unlimited
+		}
+		r.artifacts = artifact.New(budget)
+		if !userFactory {
+			r.cfg.Factory = CachedFactory(r.artifacts)
+		}
 	}
 	r.pool = newPool(r.cfg.Workers, r.cfg.QueueDepth)
 	if r.cfg.SnapshotDir != "" {
@@ -204,6 +223,7 @@ func (r *Registry) create(id string, spec Spec) (string, error) {
 	if r.closed {
 		r.mu.Unlock()
 		s.cancel()
+		s.ps.Close()
 		return "", ErrClosed
 	}
 	r.sessions[id] = s
@@ -288,6 +308,7 @@ func (r *Registry) restore(id string) (*Session, error) {
 			if r.closed {
 				r.mu.Unlock()
 				s.cancel()
+				s.ps.Close()
 				return nil, ErrClosed
 			}
 			r.sessions[id] = s
@@ -297,6 +318,11 @@ func (r *Registry) restore(id string) (*Session, error) {
 			r.cfg.Logf("service: session %s restored from snapshot (%d iterations, %d answers replayed)",
 				id, len(snap.History.Iterations), snap.History.NumAnswers())
 			return s, nil
+		}
+		if ps != nil {
+			// The factory built the session but replay failed: release its
+			// artifact-cache handles before discarding it.
+			ps.Close()
 		}
 	}
 	r.releaseSlot()
@@ -531,6 +557,12 @@ func (r *Registry) teardownAll(victims []*Session, persist, keepOnPersistFailure
 		delete(r.sessions, s.id)
 		obsSessionsLive.Set(int64(len(r.sessions)))
 		r.mu.Unlock()
+		// The session is out of the registry for good: release its
+		// artifact-cache handles so the shared entries can go idle (and
+		// become evictable). Safe even on the wedged-iteration path —
+		// the pipeline's close is guarded against concurrent acquires,
+		// and the session's own references keep the structures alive.
+		s.ps.Close()
 	}
 	return kept
 }
@@ -682,4 +714,13 @@ func (r *Registry) Kill() {
 // derives its Retry-After hint from these.
 func (r *Registry) QueueStats() (queued, capacity, workers int) {
 	return r.pool.stats()
+}
+
+// ArtifactStats reports the shared artifact cache's occupancy (zero
+// when the cache is disabled).
+func (r *Registry) ArtifactStats() artifact.Stats {
+	if r.artifacts == nil {
+		return artifact.Stats{}
+	}
+	return r.artifacts.Stats()
 }

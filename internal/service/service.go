@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"visclean/internal/artifact"
 	"visclean/internal/datagen"
 	"visclean/internal/oracle"
 	"visclean/internal/pipeline"
@@ -138,6 +139,22 @@ type Factory func(spec Spec) (*pipeline.Session, pipeline.User, error)
 // Construction is deterministic in the spec, which is what makes
 // snapshot replay sound.
 func StandardFactory(spec Spec) (*pipeline.Session, pipeline.User, error) {
+	return buildSession(spec, nil)
+}
+
+// CachedFactory builds the same sessions as StandardFactory but threads
+// a shared artifact cache (DESIGN.md §12) into the pipeline, so
+// sessions over identical dataset content reuse each other's setup
+// artifacts. The registry installs this automatically when Config
+// leaves Factory nil; it is exported so a custom Factory wrapper can
+// keep the cache.
+func CachedFactory(cache *artifact.Cache) Factory {
+	return func(spec Spec) (*pipeline.Session, pipeline.User, error) {
+		return buildSession(spec, cache)
+	}
+}
+
+func buildSession(spec Spec, cache *artifact.Cache) (*pipeline.Session, pipeline.User, error) {
 	sel, err := ParseSelector(spec.Selector)
 	if err != nil {
 		return nil, nil, err
@@ -158,7 +175,7 @@ func StandardFactory(spec Spec) (*pipeline.Session, pipeline.User, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	pcfg := pipeline.Config{K: spec.K, Seed: spec.Seed, Selector: sel}
+	pcfg := pipeline.Config{K: spec.K, Seed: spec.Seed, Selector: sel, Artifacts: cache}
 	if tv, err := q.Execute(d.Truth.Clean); err == nil {
 		pcfg.TruthVis = tv
 	}
@@ -204,8 +221,17 @@ type Config struct {
 	// SnapshotDir persists session snapshots; empty disables
 	// persistence (eviction then discards state).
 	SnapshotDir string
-	// Factory builds sessions (default StandardFactory).
+	// Factory builds sessions. The default wires the registry's shared
+	// artifact cache through StandardFactory; a custom Factory bypasses
+	// the cache unless it threads one itself (see CachedFactory).
 	Factory Factory
+	// ArtifactBudget caps the registry's cross-session artifact cache
+	// (DESIGN.md §12) in bytes. 0 selects the 256 MiB default; negative
+	// disables the budget (never evict).
+	ArtifactBudget int64
+	// NoArtifactCache disables the shared artifact cache entirely:
+	// every session builds its indexes and models privately.
+	NoArtifactCache bool
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 
@@ -248,6 +274,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.teardownAfter == nil {
 		c.teardownAfter = time.After
+	}
+	if c.ArtifactBudget == 0 {
+		c.ArtifactBudget = 256 << 20
 	}
 	if c.Factory == nil {
 		c.Factory = StandardFactory

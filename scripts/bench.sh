@@ -21,18 +21,25 @@
 # JSON records B/op and allocs/op alongside ns/op — the allocation
 # counts are the regression surface scripts/check.sh gates on.
 #
+# BenchmarkSessionSetup (→ BENCH_pr9.json) measures session
+# construction with the shared artifact cache (DESIGN.md §12) cold vs
+# warm; the Warm ns/op is the second-session setup cost check.sh gates
+# on, and the Cold/Warm ratio is what cross-session artifact sharing
+# buys.
+#
 # After the go benches, cmd/loadgen storms a self-contained two-shard
 # cluster (router + shared snapshot dir, all in one process) with 200
 # concurrent oracle-backed sessions and writes BENCH_load.json: answer
 # and iterate latency percentiles, 503 rejects, retries, per-shard
 # session placement and the router's migration counters (DESIGN.md §9).
 #
-# Usage: scripts/bench.sh [output.json] [load-output.json]
+# Usage: scripts/bench.sh [output.json] [load-output.json] [setup-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_pr8.json}"
 loadout="${2:-BENCH_load.json}"
+setupout="${3:-BENCH_pr9.json}"
 
 raw=$(go test -run xxx -bench 'BenchmarkAnnotate|BenchmarkIterationPhases|BenchmarkFig10' -benchtime=1x -count=1 . 2>&1)
 echo "$raw"
@@ -66,6 +73,30 @@ END {
 }
 '
 echo "wrote $out"
+
+echo "== session setup: artifact cache cold vs warm"
+setupraw=$(go test -run xxx -bench 'BenchmarkSessionSetup' -benchtime=5x -count=1 . 2>&1)
+echo "$setupraw"
+
+echo "$setupraw" | awk -v out="$setupout" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop[name] = $3
+    order[n++] = name
+}
+END {
+    printf "{\n" > out
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n" >> out
+    printf "  \"go_bench\": {\n" >> out
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s}%s\n", name, nsop[name], (i + 1 < n ? "," : "") >> out
+    }
+    printf "  }\n}\n" >> out
+}
+'
+echo "wrote $setupout"
 
 echo "== cluster load: 200 concurrent sessions over 2 in-process shards"
 go run ./cmd/loadgen -self 2 -sessions 200 -concurrency 200 -iters 2 -out "$loadout"

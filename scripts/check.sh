@@ -10,7 +10,10 @@
 # baseline (BENCH_pr3.json / BENCH_pr7.json), the check fails. The
 # columnar dataset engine gets the same treatment via BENCH_pr8.json:
 # table-ops ns/op must stay within 2x and the zero-allocation scan path
-# must not start allocating. CI and pre-commit both run this.
+# must not start allocating. The shared artifact cache's reason to
+# exist — a warm second-session setup — is guarded the same way via
+# BENCH_pr9.json: BenchmarkSessionSetup/Warm must stay within 2x of the
+# committed baseline. CI and pre-commit both run this.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -99,6 +102,25 @@ if [ -f BENCH_pr8.json ]; then
     fi
 else
     echo "== SKIP table regression guards: no BENCH_pr8.json baseline in this checkout — generate one with scripts/bench.sh"
+fi
+
+echo "== session-setup benchmark smoke (artifact cache warm path)"
+ssmoke=$(go test -run xxx -bench 'BenchmarkSessionSetup/Warm$' -benchtime=5x .)
+echo "$ssmoke"
+
+if [ -f BENCH_pr9.json ]; then
+    wbase=$(awk -F'ns_per_op": ' '/"BenchmarkSessionSetup\/Warm"/ {split($2, a, /[,}]/); print a[1]}' BENCH_pr9.json)
+    wcur=$(echo "$ssmoke" | awk '$1 ~ /^BenchmarkSessionSetup\/Warm/ {print $3}')
+    if [ -n "$wbase" ] && [ -n "$wcur" ]; then
+        echo "== warm-setup regression guard: current ${wcur} ns/op vs baseline ${wbase} ns/op"
+        awk -v c="$wcur" -v b="$wbase" 'BEGIN {
+            if (c > 2 * b) { printf "FAIL: warm session setup regressed more than 2x (%s > 2 * %s) — the artifact cache hit path is broken\n", c, b; exit 1 }
+        }'
+    else
+        echo "== SKIP warm-setup regression guard: BENCH_pr9.json present but unparsable (baseline='${wbase}', current='${wcur}') — regenerate with scripts/bench.sh"
+    fi
+else
+    echo "== SKIP warm-setup regression guard: no BENCH_pr9.json baseline in this checkout — generate one with scripts/bench.sh"
 fi
 
 echo "== docs gate (package docs + doc links)"

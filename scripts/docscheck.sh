@@ -1,5 +1,5 @@
 #!/bin/sh
-# docscheck.sh — the docs gate run by check.sh. Two checks:
+# docscheck.sh — the docs gate run by check.sh. Three checks:
 #
 #  1. Every package must carry a package doc comment (godoc is part of
 #     the repo's documentation surface, DESIGN.md §5-§8 lean on it —
@@ -8,6 +8,10 @@
 #  2. Backticked repo paths in the top-level docs (DESIGN.md, README.md,
 #     EXPERIMENTS.md) must exist, so renames and deletions cannot leave
 #     the prose pointing at nothing.
+#  3. Backticked `pkg.Symbol` identifiers in DESIGN.md whose pkg is a
+#     directory under internal/ must resolve via `go doc`, so the design
+#     doc cannot keep describing exported API that was renamed or
+#     deleted.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,5 +43,38 @@ for doc in DESIGN.md README.md EXPERIMENTS.md; do
             status=1
         fi
     done
+done
+
+echo "-- doc identifiers"
+# Backticked `pkg.Symbol` tokens where pkg names a directory under
+# internal/ are probed with `go doc`: a symbol DESIGN.md names must
+# still be exported from that package. Method spellings
+# (pkg.Type.Method) and field references are covered too — go doc
+# resolves both. Tokens whose first segment is not an internal package
+# (stdlib types, file names, metric names) slip the net on purpose.
+syms=$(grep -o '`[a-z][a-z0-9]*\.[A-Za-z][A-Za-z0-9_.]*`' DESIGN.md | tr -d '`' | sort -u || true)
+for s in $syms; do
+    pkg=${s%%.*}
+    sym=${s#*.}
+    [ -d "internal/$pkg" ] || continue
+    case $sym in *.*.*) continue ;; esac # deeper than Type.Method: not a go doc query
+    case $sym in
+    Test*|Benchmark*|Fuzz*)
+        # Test identifiers live outside go doc's view; grep the package's
+        # test files for the declaration instead.
+        if ! grep -q "func $sym(" "internal/$pkg"/*_test.go 2>/dev/null; then
+            echo "FAIL: DESIGN.md references \`$s\` but no such test exists in internal/$pkg"
+            status=1
+        fi
+        ;;
+    *)
+        # -u admits the handful of unexported-but-documented internals
+        # (e.g. pipeline.deltaPricer) the design doc narrates.
+        if ! go doc -u "visclean/internal/$pkg" "$sym" >/dev/null 2>&1; then
+            echo "FAIL: DESIGN.md references \`$s\` but 'go doc -u visclean/internal/$pkg $sym' finds nothing"
+            status=1
+        fi
+        ;;
+    esac
 done
 exit $status
