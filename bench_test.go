@@ -117,6 +117,33 @@ func BenchmarkFig15_16_UserTime(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiView runs the multi-view comparison (DESIGN.md §13): one
+// session serving the three-view D1 dashboard versus one dedicated
+// session per view. The custom metrics are the figure itself —
+// answers-to-convergence of each arm (0 when an arm missed the budget)
+// — so BENCH_pr10.json records them next to the wall-clock cost.
+func BenchmarkMultiView(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Seed 11: both arms converge within the default budget at this
+		// scale, so the recorded metrics are real answer counts, not 0s.
+		env := experiments.NewEnv(benchScale, 11)
+		_, res, err := experiments.ExpMultiView(env, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mt, mok := res.MultiTotal()
+		st, sok := res.SeqTotal()
+		if !mok {
+			mt = 0
+		}
+		if !sok {
+			st = 0
+		}
+		b.ReportMetric(float64(mt), "multi_answers")
+		b.ReportMetric(float64(st), "seq_answers")
+	}
+}
+
 // BenchmarkTableVI_NoisyInput runs the wrong-label / completeness grid
 // for one task with one repeat.
 func BenchmarkTableVI_NoisyInput(b *testing.B) {

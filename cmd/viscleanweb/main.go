@@ -19,11 +19,13 @@
 //
 // API:
 //
-//	POST   /api/session              → {"id": "..."}    create (503 when at capacity; body "id" pins the id)
+//	POST   /api/session              → {"id": "..."}    create (503 when at capacity; body "id" pins the id, body "queries" adds extra views)
 //	GET    /api/sessions             → [...]            list live sessions
-//	GET    /api/session/{id}/state   → state JSON       chart, question, report
+//	GET    /api/session/{id}/state   → state JSON       charts (all views), question, report
 //	POST   /api/session/{id}/iterate → 202              run one iteration (503 on overload)
 //	POST   /api/session/{id}/answer  → 204              answer the pending question
+//	POST   /api/session/{id}/view    → {"view": n}      register another VQL view mid-session (409 while iterating)
+//	GET    /api/session/{id}/view/{v}/chart → view JSON one view's query + current chart
 //	POST   /api/session/{id}/export  → snapshot JSON    detach for migration (cluster internal)
 //	POST   /api/session/import       → 204              attach a detached snapshot (cluster internal)
 //	DELETE /api/session/{id}         → 204              close and forget

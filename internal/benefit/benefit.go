@@ -71,6 +71,13 @@ type Hypothesis struct {
 	Value  float64
 }
 
+// View is one visualization panel of a multi-view session: its current
+// chart and its weight in the cross-view benefit aggregation.
+type View struct {
+	Base   *vis.Data
+	Weight float64
+}
+
 // Estimator prices questions. Base is the current visualization;
 // Hypothetical derives the visualization under a hypothetical answer
 // (returning nil means the answer is inapplicable and prices as zero).
@@ -92,6 +99,19 @@ type Estimator struct {
 	Base         *vis.Data
 	Hypothetical func(h Hypothesis) *vis.Data
 	Workers      int
+
+	// Views and HypotheticalAll extend the estimator to a multi-view
+	// session: when Views is non-empty, a hypothesis is priced as the
+	// weighted sum Σ_i Weight_i · Dist(Views[i].Base, charts[i]) with
+	// charts = HypotheticalAll(h), accumulated in view registration
+	// order so the float sum is deterministic at every worker count. A
+	// nil charts slice means the hypothesis is inapplicable (prices as
+	// zero, like a nil Hypothetical chart); a nil element zeroes only
+	// that view's term. Base and Hypothetical are ignored while Views is
+	// set; single-view callers leave Views nil and keep the exact
+	// historical pricing path.
+	Views           []View
+	HypotheticalAll func(h Hypothesis) []*vis.Data
 
 	// Pricer, when set, is tried before the full Hypothetical+Dist path:
 	// it returns the price of a hypothesis directly (typically via
@@ -198,6 +218,20 @@ func (e *Estimator) rawDist(h Hypothesis) float64 {
 			return v
 		}
 		e.pricerMiss.Add(1)
+	}
+	if len(e.Views) > 0 {
+		charts := e.HypotheticalAll(h)
+		if charts == nil {
+			return 0
+		}
+		total := 0.0
+		for i, v := range e.Views {
+			if i >= len(charts) || charts[i] == nil {
+				continue
+			}
+			total += v.Weight * e.Dist(v.Base, charts[i])
+		}
+		return total
 	}
 	after := e.Hypothetical(h)
 	if after == nil {

@@ -230,3 +230,60 @@ func TestExp2EffectivenessSmoke(t *testing.T) {
 	}
 	_ = pipeline.SelectGSS // keep import intent explicit
 }
+
+func TestExpMultiViewSmoke(t *testing.T) {
+	env := testEnv(t)
+	report, res, err := ExpMultiView(env, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Views) < 2 || len(res.Views) > 4 {
+		t.Fatalf("view count %d outside the 2-4 scenario range", len(res.Views))
+	}
+	if len(res.MultiDists) == 0 {
+		t.Fatal("multi-view arm ran no iterations")
+	}
+	for i, dists := range res.MultiDists {
+		if len(dists) != len(res.Views) {
+			t.Fatalf("iteration %d recorded %d view dists, want %d", i+1, len(dists), len(res.Views))
+		}
+	}
+	if len(res.SeqDists) != len(res.Views) || len(res.SeqConverged) != len(res.Views) {
+		t.Fatalf("sequential arm malformed: %d dists / %d converged", len(res.SeqDists), len(res.SeqConverged))
+	}
+	for v, init := range res.InitialDist {
+		if init <= 0 {
+			t.Fatalf("view %d initial dist %v not positive", v, init)
+		}
+	}
+	if !strings.Contains(report, "Multi-view cleaning") {
+		t.Fatal("report header missing")
+	}
+	if !strings.Contains(report, "V2") {
+		t.Fatalf("report missing per-view rows:\n%s", report)
+	}
+}
+
+func TestExpMultiViewConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-budget multi-view comparison is slow")
+	}
+	env := testEnv(t)
+	report, res, err := ExpMultiView(env, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, ok := res.MultiTotal()
+	if !ok {
+		t.Fatalf("multi-view arm did not converge every view:\n%s", report)
+	}
+	if mt <= 0 {
+		t.Fatalf("multi-view converged with %d answers", mt)
+	}
+	// The sequential arm pays per view; if it also converged, the shared
+	// session must not cost more answers than the sum of dedicated ones.
+	if st, ok := res.SeqTotal(); ok && mt > st {
+		t.Fatalf("multi-view needed %d answers vs sequential %d — cross-view aggregation made it worse:\n%s",
+			mt, st, report)
+	}
+}

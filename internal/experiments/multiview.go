@@ -1,0 +1,235 @@
+package experiments
+
+// The multi-view scenario (DESIGN.md §13): one session serving a small
+// D1 dashboard, with question benefit aggregated across every panel.
+// The figure compares answers-to-convergence of one multi-view session
+// against cleaning the same views one session at a time — the shared
+// cleaning argument of the view-based cleaning literature, measured on
+// this reproduction.
+
+import (
+	"fmt"
+	"strings"
+
+	"visclean/internal/distance"
+	"visclean/internal/oracle"
+	"visclean/internal/pipeline"
+	"visclean/internal/vis"
+	"visclean/internal/vql"
+)
+
+// MultiViewViews returns the D1 dashboard of the multi-view scenario:
+// the running example Q1 plus two more views over the same Citations
+// measure (a session's views must share the measure column — M/O
+// repairs write exactly one column).
+func MultiViewViews() []string {
+	return []string{
+		`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`,
+		`VISUALIZE bar SELECT Venue, AVG(Citations) FROM D1 TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT 10`,
+		`VISUALIZE bar SELECT Year, SUM(Citations) FROM D1 TRANSFORM BIN Year BY INTERVAL 5`,
+	}
+}
+
+// multiViewConvergeFrac defines per-view convergence: a view has
+// converged once its distance to ground truth drops to at most this
+// fraction of its initial distance.
+const multiViewConvergeFrac = 0.3
+
+// MultiViewResult holds the multi-view comparison's raw series.
+type MultiViewResult struct {
+	Views []string
+	// InitialDist is each view's starting distance to ground truth
+	// (identical in both arms — same dirty data, same queries).
+	InitialDist []float64
+	// MultiDists[i][v] is view v's distance to ground truth after
+	// iteration i+1 of the single multi-view session; MultiAnswers[i] is
+	// the session's cumulative answer count at that point.
+	MultiDists   [][]float64
+	MultiAnswers []int
+	// SeqDists[v][i] is view v's distance after iteration i+1 of its own
+	// dedicated single-view session; SeqAnswers[v][i] the cumulative
+	// answers that session alone has spent.
+	SeqDists   [][]float64
+	SeqAnswers [][]int
+	// MultiConverged[v] / SeqConverged[v] are the cumulative answers
+	// spent when view v first converged (−1 = not within budget). For
+	// the sequential arm the count is that view's own session only; the
+	// sequential total for a dashboard is their sum.
+	MultiConverged []int
+	SeqConverged   []int
+}
+
+// MultiTotal returns the answers the multi-view session needed until
+// every view had converged, and whether all did.
+func (r *MultiViewResult) MultiTotal() (int, bool) {
+	worst := 0
+	for _, a := range r.MultiConverged {
+		if a < 0 {
+			return 0, false
+		}
+		if a > worst {
+			worst = a
+		}
+	}
+	return worst, true
+}
+
+// SeqTotal returns the summed answers of the per-view sequential
+// sessions until each had converged, and whether all did.
+func (r *MultiViewResult) SeqTotal() (int, bool) {
+	total := 0
+	for _, a := range r.SeqConverged {
+		if a < 0 {
+			return 0, false
+		}
+		total += a
+	}
+	return total, true
+}
+
+// ExpMultiView runs the multi-view comparison on D1: one session
+// serving all of MultiViewViews at once versus one dedicated session
+// per view, every arm with its own deterministic oracle stream (see
+// oracle.Fork). budget bounds iterations per session (0 = 15).
+func ExpMultiView(env *Env, budget int) (string, *MultiViewResult, error) {
+	if budget == 0 {
+		budget = 15
+	}
+	views := MultiViewViews()
+	d := env.Dataset("D1")
+	queries := make([]*vql.Query, len(views))
+	truths := make([]*vis.Data, len(views))
+	for v, src := range views {
+		q, err := vql.Parse(src)
+		if err != nil {
+			return "", nil, fmt.Errorf("experiments: multi-view query %d: %w", v, err)
+		}
+		tv, err := q.Execute(d.Truth.Clean)
+		if err != nil {
+			return "", nil, fmt.Errorf("experiments: multi-view truth %d: %w", v, err)
+		}
+		queries[v] = q
+		truths[v] = tv
+	}
+	base := oracle.New(d.Truth, env.Seed)
+
+	res := &MultiViewResult{
+		Views:          views,
+		MultiConverged: make([]int, len(views)),
+		SeqConverged:   make([]int, len(views)),
+	}
+	for v := range views {
+		res.MultiConverged[v] = -1
+		res.SeqConverged[v] = -1
+	}
+
+	// Arm 1: the multi-view session — every answer priced and applied
+	// against all panels at once.
+	session, err := pipeline.NewSession(d.Dirty, queries[0], d.KeyColumns, pipeline.Config{
+		Selector: pipeline.SelectGSS,
+		Seed:     env.Seed,
+		Workers:  env.Workers,
+		TruthVis: truths[0],
+		Queries:  queries[1:],
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	initial, err := session.CurrentVisAll()
+	if err != nil {
+		return "", nil, err
+	}
+	res.InitialDist = make([]float64, len(views))
+	for v := range views {
+		res.InitialDist[v] = distance.Default(truths[v], initial[v])
+	}
+	user := base.Fork(env.Seed + 100)
+	answers := 0
+	for i := 0; i < budget; i++ {
+		rep, err := session.RunIteration(user)
+		if err != nil {
+			return "", nil, err
+		}
+		if rep.Exhausted {
+			break
+		}
+		answers += rep.Questions() - rep.Unanswered
+		dists := make([]float64, len(views))
+		for v := range views {
+			dists[v] = distance.Default(truths[v], rep.ViewCharts[v])
+			if res.MultiConverged[v] < 0 && dists[v] <= multiViewConvergeFrac*res.InitialDist[v] {
+				res.MultiConverged[v] = answers
+			}
+		}
+		res.MultiDists = append(res.MultiDists, dists)
+		res.MultiAnswers = append(res.MultiAnswers, answers)
+	}
+
+	// Arm 2: per-view sequential — a dedicated single-view session per
+	// panel, each paying its own question stream.
+	res.SeqDists = make([][]float64, len(views))
+	res.SeqAnswers = make([][]int, len(views))
+	for v := range views {
+		seq, err := pipeline.NewSession(d.Dirty, queries[v], d.KeyColumns, pipeline.Config{
+			Selector: pipeline.SelectGSS,
+			Seed:     env.Seed,
+			Workers:  env.Workers,
+			TruthVis: truths[v],
+		})
+		if err != nil {
+			return "", nil, err
+		}
+		seqUser := base.Fork(env.Seed + 200 + int64(v))
+		spent := 0
+		for i := 0; i < budget; i++ {
+			rep, err := seq.RunIteration(seqUser)
+			if err != nil {
+				return "", nil, err
+			}
+			if rep.Exhausted {
+				break
+			}
+			spent += rep.Questions() - rep.Unanswered
+			res.SeqDists[v] = append(res.SeqDists[v], rep.DistToTruth)
+			res.SeqAnswers[v] = append(res.SeqAnswers[v], spent)
+			if res.SeqConverged[v] < 0 && rep.DistToTruth <= multiViewConvergeFrac*res.InitialDist[v] {
+				res.SeqConverged[v] = spent
+				break // this view's panel is done; next session
+			}
+		}
+	}
+	return formatMultiView(res), res, nil
+}
+
+// formatMultiView renders the answers-to-convergence comparison table.
+func formatMultiView(r *MultiViewResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-view cleaning (D1, %d views, converge at %.0f%% of initial EMD)\n",
+		len(r.Views), multiViewConvergeFrac*100)
+	fmt.Fprintf(&b, "%-6s %9s %18s %18s  %s\n", "view", "dist0", "multi answers", "sequential answers", "query")
+	fmtAns := func(a int) string {
+		if a < 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%d", a)
+	}
+	for v, src := range r.Views {
+		fmt.Fprintf(&b, "%-6s %9.5f %18s %18s  %s\n",
+			fmt.Sprintf("V%d", v), r.InitialDist[v],
+			fmtAns(r.MultiConverged[v]), fmtAns(r.SeqConverged[v]), src)
+	}
+	if mt, ok := r.MultiTotal(); ok {
+		if st, ok2 := r.SeqTotal(); ok2 {
+			fmt.Fprintf(&b, "dashboard converged: multi-view %d answers vs sequential %d answers", mt, st)
+			if st > 0 {
+				fmt.Fprintf(&b, " (saving %.0f%%)", (1-float64(mt)/float64(st))*100)
+			}
+			b.WriteByte('\n')
+		} else {
+			fmt.Fprintf(&b, "dashboard converged under multi-view (%d answers); a sequential view missed the budget\n", mt)
+		}
+	} else {
+		b.WriteString("a view missed convergence within the multi-view budget\n")
+	}
+	return b.String()
+}

@@ -26,6 +26,33 @@ func TestPercentileNearestRank(t *testing.T) {
 	if got := Percentile(nil, 50); got != 0 {
 		t.Errorf("empty sample P50 = %g, want 0", got)
 	}
+
+	// Non-multiple-of-5 sample counts distinguish nearest-rank ceil from
+	// the old rounding formula: with n=13, p10 → ceil(1.3)=2nd element,
+	// but round(1.3)=1st; p50 → ceil(6.5)=7th, but round(6.5)=7th only
+	// by luck of the .5 — p42 → ceil(5.46)=6th vs round(5.46)=5th.
+	thirteen := make([]float64, 13)
+	for i := range thirteen {
+		thirteen[i] = float64(i + 1) // 1..13, element k is the k-th rank
+	}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{10, 2},  // ceil(1.3) = 2; rounding gave 1
+		{42, 6},  // ceil(5.46) = 6; rounding gave 5
+		{50, 7},  // ceil(6.5) = 7
+		{99, 13}, // ceil(12.87) = 13
+	} {
+		if got := Percentile(thirteen, tc.p); got != tc.want {
+			t.Errorf("n=13 P%g = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	// n=7: p50 must be the 4th element (ceil(3.5)=4).
+	seven := []float64{10, 20, 30, 40, 50, 60, 70}
+	if got := Percentile(seven, 50); got != 40 {
+		t.Errorf("n=7 P50 = %g, want 40", got)
+	}
 }
 
 // TestFingerprintBitExact: fingerprints must separate states that

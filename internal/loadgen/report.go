@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bufio"
 	"encoding/json"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -60,7 +61,11 @@ func Percentile(vs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), vs...)
 	sort.Float64s(sorted)
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	// Nearest-rank definition: the smallest element with at least p% of
+	// the sample at or below it, i.e. ceil(p/100·n), 1-based. Rounding
+	// (+0.5) under-reported whenever the rank fraction fell below .5 —
+	// e.g. p10 of 13 samples is ceil(1.3)=2 but rounded to 1.
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if rank < 0 {
 		rank = 0
 	}

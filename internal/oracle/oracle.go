@@ -75,6 +75,20 @@ func New(truth *GroundTruth, seed int64) *Oracle {
 	return &Oracle{Truth: truth, Completeness: 1, rng: rand.New(rand.NewSource(seed))}
 }
 
+// Fork derives an oracle over the same ground truth and noise knobs but
+// with an independent deterministic noise stream. Comparative
+// experiments use it to give each arm of a comparison (e.g. the
+// multi-view session vs. its per-view sequential runs) its own answer
+// stream without re-plumbing the Exp-3 knobs.
+func (o *Oracle) Fork(seed int64) *Oracle {
+	return &Oracle{
+		Truth:          o.Truth,
+		WrongLabelRate: o.WrongLabelRate,
+		Completeness:   o.Completeness,
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+}
+
 // answers reports whether this question gets any answer.
 func (o *Oracle) answers() bool {
 	if o.Completeness <= 0 || o.Completeness >= 1 {

@@ -114,3 +114,31 @@ func TestCanonicalValueFallback(t *testing.T) {
 		t.Fatalf("unknown column canonicalizes to %q", got)
 	}
 }
+
+func TestForkSharesTruthAndKnobs(t *testing.T) {
+	o := New(testTruth(), 5)
+	o.WrongLabelRate = 0.3
+	o.Completeness = 0.5
+	f := o.Fork(6)
+	if f.Truth != o.Truth {
+		t.Fatal("fork does not share the ground truth")
+	}
+	if f.WrongLabelRate != o.WrongLabelRate || f.Completeness != o.Completeness {
+		t.Fatalf("fork dropped noise knobs: %+v", f)
+	}
+	// The streams are independent: draining the parent must not move the
+	// fork — a same-seed fork answers identically to a fresh oracle.
+	for i := 0; i < 100; i++ {
+		o.AnswerT(1, 2)
+	}
+	fresh := New(testTruth(), 6)
+	fresh.WrongLabelRate = 0.3
+	fresh.Completeness = 0.5
+	for i := 0; i < 50; i++ {
+		gm, gok := f.AnswerT(1, 2)
+		wm, wok := fresh.AnswerT(1, 2)
+		if gm != wm || gok != wok {
+			t.Fatalf("draw %d: fork (%v,%v) diverged from fresh same-seed oracle (%v,%v)", i, gm, gok, wm, wok)
+		}
+	}
+}

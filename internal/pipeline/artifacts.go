@@ -20,8 +20,10 @@ package pipeline
 //	           valid at any point in any session's life; each session
 //	           re-binds them to its own table and canonicalizer and
 //	           re-tokenizes only rows whose canonical text differs.
-//	basevis  — the pristine initial chart and its distance.Baseline
-//	           prefix sums, served while the session has no answers.
+//	basevis  — one view's pristine initial chart and its
+//	           distance.Baseline prefix sums, served while the session
+//	           has no answers. Keyed per view query, so multi-view
+//	           sessions hold one slot per panel.
 //
 // The determinism contract: every artifact is a pure function of the
 // fingerprinted table content plus the parameters its kind string
@@ -378,36 +380,43 @@ func (s *Session) pristine() bool {
 		len(s.answeredM) == 0 && len(s.answeredO) == 0
 }
 
-// pristineVis serves the shared initial chart while the session is
-// pristine; nil sends the caller down the private build path.
-func (s *Session) pristineVis() *vis.Data {
+// pristineVis serves the primary view's shared initial chart while the
+// session is pristine; nil sends the caller down the private build path.
+func (s *Session) pristineVis() *vis.Data { return s.pristineVisView(0) }
+
+// pristineVisView is pristineVis for view v. Each view has its own
+// cache slot, keyed by the view's query string on top of the table
+// fingerprint, so concurrent sessions over the same data share per-view
+// charts and baselines independently of which other views they carry.
+func (s *Session) pristineVisView(v int) *vis.Data {
 	if !s.pristine() {
 		return nil
 	}
-	if s.basevis == nil {
-		a := s.acquire("basevis:q="+s.query.String(), func() (artifact.Artifact, error) {
+	if s.basevis[v] == nil {
+		q := s.queries[v]
+		a := s.acquire("basevis:q="+q.String(), func() (artifact.Artifact, error) {
 			view := s.buildView(s.clusters, s.std, nil)
-			v, err := s.query.Execute(view)
+			d, err := q.Execute(view)
 			if err != nil {
 				return nil, err
 			}
-			return &basevisArtifact{vis: v, baseline: distance.NewBaseline(distance.Default, v)}, nil
+			return &basevisArtifact{vis: d, baseline: distance.NewBaseline(distance.Default, d)}, nil
 		})
 		if a == nil {
 			return nil
 		}
-		s.basevis = a.(*basevisArtifact)
+		s.basevis[v] = a.(*basevisArtifact)
 	}
-	return s.basevis.vis
+	return s.basevis[v].vis
 }
 
 // baselineFor returns the distance baseline of one iteration's base
-// chart, reusing the shared pristine baseline when base is the shared
-// pristine chart and the session distance is the default the artifact
-// was built with.
-func (s *Session) baselineFor(base *vis.Data) *distance.Baseline {
-	if s.basevis != nil && base == s.basevis.vis && distIsDefault(s.cfg.Dist) {
-		return s.basevis.baseline
+// chart for view v, reusing the view's shared pristine baseline when
+// base is that view's shared pristine chart and the session distance is
+// the default the artifact was built with.
+func (s *Session) baselineFor(v int, base *vis.Data) *distance.Baseline {
+	if bv := s.basevis[v]; bv != nil && base == bv.vis && distIsDefault(s.cfg.Dist) {
+		return bv.baseline
 	}
 	return distance.NewBaseline(s.cfg.Dist, base)
 }

@@ -48,9 +48,14 @@ import (
 // price calls: it reads only frozen session state and per-call private
 // structures.
 type deltaPricer struct {
-	s    *Session
-	base *distance.Baseline
-	exec *vql.Incremental
+	s *Session
+	// bases / execs hold one distance baseline and one incremental
+	// executor per registered view, in registration order. All
+	// executors are registered over the same base rows (the cleaned
+	// relation is query-independent), so one delta materialization
+	// prices every view.
+	bases []*distance.Baseline
+	execs []*vql.Incremental
 
 	groups  [][]dataset.TupleID // base partition, Groups(1) order
 	ranks   []int64             // ranks[gi] = int64(groups[gi][0])
@@ -75,18 +80,23 @@ type deltaPricer struct {
 	yNumeric bool
 }
 
-// newDeltaPricer captures the base state of one iteration. Callers must
-// freezeShared first. Returns nil when the query cannot be evaluated
-// incrementally (the estimator then uses the full path throughout).
-func (s *Session) newDeltaPricer(base *vis.Data) *deltaPricer {
+// newDeltaPricer captures the base state of one iteration; bases holds
+// each view's current chart in registration order. Callers must
+// freezeShared first. Returns nil when any view's query cannot be
+// evaluated incrementally (the estimator then uses the full path
+// throughout).
+func (s *Session) newDeltaPricer(bases []*vis.Data) *deltaPricer {
 	p := &deltaPricer{
 		s:        s,
-		base:     s.baselineFor(base),
 		groups:   s.clusters.Groups(1),
 		groupOf:  make(map[dataset.TupleID]int),
 		posting:  make(map[string]map[string][]int),
 		rawRep:   make(map[string]map[string]string),
 		yNumeric: s.table.Schema()[s.yCol].Kind == dataset.Float,
+	}
+	p.bases = make([]*distance.Baseline, len(s.queries))
+	for v := range s.queries {
+		p.bases[v] = s.baselineFor(v, bases[v])
 	}
 	p.ranks = make([]int64, len(p.groups))
 	p.hasRow = make([]bool, len(p.groups))
@@ -103,11 +113,14 @@ func (s *Session) newDeltaPricer(base *vis.Data) *deltaPricer {
 			rows = append(rows, vql.IncRow{Rank: p.ranks[gi], Vals: vals})
 		}
 	}
-	exec, err := s.query.NewIncremental(s.table.Schema(), rows)
-	if err != nil {
-		return nil
+	p.execs = make([]*vql.Incremental, len(s.queries))
+	for v, q := range s.queries {
+		exec, err := q.NewIncremental(s.table.Schema(), rows)
+		if err != nil {
+			return nil
+		}
+		p.execs[v] = exec
 	}
-	p.exec = exec
 
 	schema := s.table.Schema()
 	for _, c := range s.aColumns {
@@ -383,5 +396,15 @@ func (p *deltaPricer) eval(removed []int, regrouped [][]dataset.TupleID, std map
 		}
 		added = append(added, vql.IncRow{Rank: int64(g[0]), Vals: vals})
 	}
-	return p.base.Distance(p.exec.Eval(ranks, added)), true
+	if len(p.execs) == 1 {
+		// Single view: the historical scalar path, kept separate so the
+		// N=1 session stays bit-identical even against a Dist that
+		// returns -0.0 (0 + -0.0 would flip the sign bit).
+		return p.bases[0].Distance(p.execs[0].Eval(ranks, added)), true
+	}
+	total := 0.0
+	for v := range p.execs {
+		total += p.s.viewWeights[v] * p.bases[v].Distance(p.execs[v].Eval(ranks, added))
+	}
+	return total, true
 }

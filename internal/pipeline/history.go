@@ -5,6 +5,7 @@ import (
 
 	"visclean/internal/dataset"
 	"visclean/internal/em"
+	"visclean/internal/vql"
 )
 
 // Answer kind tags, matching the paper's four question classes.
@@ -13,6 +14,12 @@ const (
 	AnswerKindA = "A" // attribute synonym (value pair)
 	AnswerKindM = "M" // missing-value imputation
 	AnswerKindO = "O" // outlier verdict + correction
+	// AnswerKindV records a view added mid-session (AddView). Not a
+	// user answer in the paper's sense, but it must live in the ordered
+	// log: adding a view extends the A-column set, and replaying answers
+	// with the final column set instead of the as-of-then one would
+	// diverge.
+	AnswerKindV = "V"
 )
 
 // Answer is one applied user answer. The session records every applied
@@ -35,6 +42,8 @@ type Answer struct {
 	Yes bool `json:"yes,omitempty"`
 	// Value is the numeric answer of an M or O question.
 	Value float64 `json:"value,omitempty"`
+	// Query is the VQL text of a view added mid-session (kind V).
+	Query string `json:"query,omitempty"`
 }
 
 // History is a session's answer log: one answer group per completed
@@ -128,6 +137,12 @@ func (s *Session) replayAnswer(a Answer) error {
 		s.applyM(a.A, a.Value)
 	case AnswerKindO:
 		s.applyO(a.A, a.Yes, a.Value)
+	case AnswerKindV:
+		q, err := vql.Parse(a.Query)
+		if err != nil {
+			return fmt.Errorf("view registration %q: %w", a.Query, err)
+		}
+		return s.applyAddView(q)
 	default:
 		return fmt.Errorf("unknown answer kind %q", a.Kind)
 	}

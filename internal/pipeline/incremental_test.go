@@ -20,6 +20,7 @@ import (
 	"visclean/internal/em"
 	"visclean/internal/erg"
 	"visclean/internal/oracle"
+	"visclean/internal/vis"
 )
 
 // collectHypotheses enumerates every hypothesis the estimator would
@@ -69,7 +70,7 @@ func TestIncrementalPricingBitIdentical(t *testing.T) {
 				qs := s.detectQuestions()
 				g := s.buildERG(qs)
 				s.freezeShared()
-				p := s.newDeltaPricer(base)
+				p := s.newDeltaPricer([]*vis.Data{base})
 				if p == nil {
 					t.Fatal("newDeltaPricer returned nil for an executable query")
 				}

@@ -56,7 +56,7 @@ func (s *Session) RunIterationCtx(ctx context.Context, user User) (Report, error
 	iterStart := time.Now()
 
 	start := time.Now()
-	before, err := s.CurrentVis()
+	beforeAll, err := s.CurrentVisAll()
 	rep.Timings.View += time.Since(start)
 	if err != nil {
 		return rep, err
@@ -70,11 +70,11 @@ func (s *Session) RunIterationCtx(ctx context.Context, user User) (Report, error
 	rep.DetectFull = s.lastDetect.full
 
 	if s.cfg.Selector == SelectSingle {
-		if err := s.runSingleIteration(ctx, user, qs, before, &rep); err != nil {
+		if err := s.runSingleIteration(ctx, user, qs, beforeAll, &rep); err != nil {
 			return rep, err
 		}
 	} else {
-		if err := s.runCompositeIteration(ctx, user, qs, before, &rep); err != nil {
+		if err := s.runCompositeIteration(ctx, user, qs, beforeAll, &rep); err != nil {
 			return rep, err
 		}
 	}
@@ -88,15 +88,24 @@ func (s *Session) RunIterationCtx(ctx context.Context, user User) (Report, error
 	s.refreshModel()
 	rep.Timings.Train = time.Since(start)
 
-	// Framework step 7: refresh the visualization and measure movement.
+	// Framework step 7: refresh every view's visualization and measure
+	// movement. DistMoved / DistToTruth stay primary-view scalars (the
+	// historical report contract); the per-view trajectories ride along
+	// in ViewCharts / ViewDistMoved.
 	start = time.Now()
-	after, err := s.CurrentVis()
+	afterAll, err := s.CurrentVisAll()
 	rep.Timings.View += time.Since(start)
 	if err != nil {
 		return rep, err
 	}
+	after := afterAll[0]
+	rep.ViewCharts = afterAll
 	start = time.Now()
-	rep.DistMoved = s.cfg.Dist(before, after)
+	rep.ViewDistMoved = make([]float64, len(s.queries))
+	for v := range s.queries {
+		rep.ViewDistMoved[v] = s.cfg.Dist(beforeAll[v], afterAll[v])
+	}
+	rep.DistMoved = rep.ViewDistMoved[0]
 	if s.cfg.TruthVis != nil {
 		rep.DistToTruth = s.cfg.Dist(after, s.cfg.TruthVis)
 	}
@@ -644,25 +653,43 @@ func (s *Session) edgeShowsValues(e *erg.Edge, c int, v1, v2 string) bool {
 	return (ta == v1 && tb == v2) || (ta == v2 && tb == v1)
 }
 
+// newEstimator builds one iteration's benefit estimator over the
+// per-view base charts (registration order). Single-view sessions get
+// exactly the historical estimator; multi-view sessions additionally
+// carry the per-view bases and weights so every hypothesis prices as
+// the cross-view weighted sum. Callers must freezeShared first.
+func (s *Session) newEstimator(bases []*vis.Data, workers int) *benefit.Estimator {
+	est := &benefit.Estimator{
+		Dist:         s.cfg.Dist,
+		Base:         bases[0],
+		Hypothetical: s.hypotheticalVis,
+		Workers:      workers,
+	}
+	if len(s.queries) > 1 {
+		views := make([]benefit.View, len(s.queries))
+		for v := range s.queries {
+			views[v] = benefit.View{Base: bases[v], Weight: s.viewWeights[v]}
+		}
+		est.Views = views
+		est.HypotheticalAll = s.hypotheticalVisAll
+	}
+	if !s.cfg.NoIncremental {
+		if p := s.newDeltaPricer(bases); p != nil {
+			est.Pricer = p.price
+		}
+	}
+	return est
+}
+
 // annotateERG prices the ERG with the estimation-based benefit model
 // (framework step 4a): the session's standardizers are frozen so
 // concurrent hypothetical-visualization builds never write shared state,
 // then the per-edge/per-repair pricing fans out across workers. Returns
 // the estimator's work accounting (unique evaluations, memo hits,
 // incremental accepts vs. fallbacks).
-func (s *Session) annotateERG(g *erg.Graph, base *vis.Data, workers int) benefit.Stats {
+func (s *Session) annotateERG(g *erg.Graph, bases []*vis.Data, workers int) benefit.Stats {
 	s.freezeShared()
-	est := &benefit.Estimator{
-		Dist:         s.cfg.Dist,
-		Base:         base,
-		Hypothetical: s.hypotheticalVis,
-		Workers:      workers,
-	}
-	if !s.cfg.NoIncremental {
-		if p := s.newDeltaPricer(base); p != nil {
-			est.Pricer = p.price
-		}
-	}
+	est := s.newEstimator(bases, workers)
 	est.Annotate(g)
 	return est.Stats()
 }
@@ -675,7 +702,7 @@ func (s *Session) annotateERG(g *erg.Graph, base *vis.Data, workers int) benefit
 // and diagnostics that need to measure or inspect the benefit model in
 // isolation.
 func (s *Session) BuildAnnotatedERG(workers int) (*erg.Graph, int, error) {
-	before, err := s.CurrentVis()
+	before, err := s.CurrentVisAll()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -685,8 +712,9 @@ func (s *Session) BuildAnnotatedERG(workers int) (*erg.Graph, int, error) {
 	return g, st.Evals, nil
 }
 
-// runCompositeIteration performs steps 3–5 with a CQG.
-func (s *Session) runCompositeIteration(ctx context.Context, user User, qs questionSet, before *vis.Data, rep *Report) error {
+// runCompositeIteration performs steps 3–5 with a CQG. before holds
+// each view's current chart in registration order.
+func (s *Session) runCompositeIteration(ctx context.Context, user User, qs questionSet, before []*vis.Data, rep *Report) error {
 	start := time.Now()
 	g := s.buildERG(qs)
 	rep.Timings.BuildERG = time.Since(start)

@@ -46,6 +46,12 @@ var (
 	obsDetectFull = obs.Default.Counter("visclean_detect_full_total",
 		"Iterations that ran the full (non-incremental) detect path.")
 
+	obsViewRegistrations = obs.Default.Counter("visclean_pipeline_view_registrations_total",
+		"Extra views registered on multi-view sessions (DESIGN.md §13) beyond the primary — construction-time extras, live AddView calls, and replayed registrations during restore alike.")
+	obsViewDistMoved = obs.Default.Histogram("visclean_pipeline_view_dist_moved",
+		"Per-view chart movement (dist between the view's before/after charts) per committed iteration; multi-view sessions observe once per view.",
+		distBuckets)
+
 	obsPhaseSeconds = map[string]*obs.Histogram{
 		"detect":    phaseHist("detect"),
 		"build_erg": phaseHist("build_erg"),
@@ -57,6 +63,10 @@ var (
 		"distance":  phaseHist("distance"),
 	}
 )
+
+// distBuckets cover per-iteration chart movement: label-aligned EMD
+// values, usually well under 1 at the reproduction scales.
+var distBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5}
 
 func phaseHist(phase string) *obs.Histogram {
 	help := ""
@@ -96,6 +106,9 @@ func (s *Session) observeIteration(rep *Report, start time.Time) {
 		obsDetectFallbacks.Add(int64(rep.DetectFallbacks))
 		if rep.DetectFull {
 			obsDetectFull.Inc()
+		}
+		for _, d := range rep.ViewDistMoved {
+			obsViewDistMoved.Observe(d)
 		}
 		tm := rep.Timings
 		obsPhaseSeconds["detect"].Observe(tm.Detect.Seconds())

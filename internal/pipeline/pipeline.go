@@ -74,6 +74,21 @@ func (s SelectorKind) String() string {
 type Config struct {
 	Query *vql.Query
 
+	// Queries registers additional concurrent views beyond the primary
+	// query passed to NewSession: the session then serves N dashboard
+	// panels over the same base data, and every question's benefit is
+	// the weighted sum of its per-view distance deltas, so one answer
+	// improves every panel at once. View 0 is always the primary query;
+	// an empty slice is the historical single-view session. Every view
+	// must validate against the schema and share the primary query's
+	// measure (Y) column — M/O detection and repair write exactly one
+	// column.
+	Queries []*vql.Query
+	// ViewWeights sets the per-view aggregation weights in registration
+	// order (index 0 = the primary query). Missing or non-positive
+	// entries default to 1.
+	ViewWeights []float64
+
 	// K is the CQG size (paper default 10).
 	K int
 	// Selector picks the CQG selection algorithm (default GSS).
@@ -228,6 +243,13 @@ type Session struct {
 	table *dataset.Table
 	query *vql.Query
 
+	// queries lists every registered view's query in registration
+	// order; queries[0] == query always. viewWeights aligns with it.
+	// Views added mid-session (AddView) append here and log an
+	// AnswerKindV entry so replay restores them at the same point.
+	queries     []*vql.Query
+	viewWeights []float64
+
 	xCol int // x-axis column index
 	yCol int // y-axis (measure) column index
 
@@ -310,13 +332,14 @@ type Session struct {
 	// cache ("" when the cache is off). artMu guards the retained handle
 	// list: Close may race with a still-running iteration's lazy
 	// acquisitions (see artifacts.go). stdBase caches the per-column
-	// shared standardizer bases; basevis the shared pristine chart.
+	// shared standardizer bases; basevis the per-view pristine charts,
+	// aligned with queries.
 	fingerprint string
 	artMu       sync.Mutex
 	artClosed   bool
 	artHandles  []*artifact.Handle
 	stdBase     map[int]*goldenrec.Standardizer
-	basevis     *basevisArtifact
+	basevis     []*basevisArtifact
 }
 
 type aKey struct {
@@ -351,23 +374,28 @@ func NewSession(table *dataset.Table, query *vql.Query, keyColumns []int, cfg Co
 		answeredO: map[dataset.TupleID]struct{}{},
 	}
 
-	schema := table.Schema()
-	seen := map[int]struct{}{}
-	addACol := func(c int) {
-		if c < 0 || schema[c].Kind != dataset.String {
-			return
+	s.queries = append(s.queries, query)
+	for _, q := range cfg.Queries {
+		if err := s.validateView(q); err != nil {
+			return nil, err
 		}
-		if _, dup := seen[c]; dup {
-			return
-		}
-		seen[c] = struct{}{}
-		s.aColumns = append(s.aColumns, c)
+		s.queries = append(s.queries, q)
+		obsViewRegistrations.Inc()
 	}
-	addACol(s.xCol)
-	for _, p := range query.Where {
-		if !p.IsNum {
-			addACol(schema.Index(p.Column))
+	s.viewWeights = make([]float64, len(s.queries))
+	for i := range s.viewWeights {
+		s.viewWeights[i] = 1
+		if i < len(cfg.ViewWeights) && cfg.ViewWeights[i] > 0 {
+			s.viewWeights[i] = cfg.ViewWeights[i]
 		}
+	}
+	s.basevis = make([]*basevisArtifact, len(s.queries))
+
+	// The A-column set is the union over every view, in registration
+	// order: the primary view's columns come first, so the N=1 session
+	// sees exactly the historical ordering.
+	for _, q := range s.queries {
+		s.registerViewColumns(q)
 	}
 	if cfg.Artifacts != nil && !cfg.NoArtifactCache {
 		s.fingerprint = table.Fingerprint()
@@ -815,8 +843,16 @@ type Report struct {
 	EstimatedBenefit float64
 	// DistToTruth is dist(Q(D), Q(D_g)) when Config.TruthVis is set.
 	DistToTruth float64
-	// DistMoved is dist(previous vis, new vis): the actual change.
+	// DistMoved is dist(previous vis, new vis) of the primary view: the
+	// actual change.
 	DistMoved float64
+	// ViewCharts holds each view's chart after this iteration, in view
+	// registration order (index 0 = the primary query) — the panels a
+	// multi-view frontend refreshes. Nil only on an exhausted iteration.
+	ViewCharts []*vis.Data
+	// ViewDistMoved is each view's dist(before, after) this iteration,
+	// aligned with ViewCharts; ViewDistMoved[0] == DistMoved.
+	ViewDistMoved []float64
 	// Exhausted reports that the ERG ran out of questions.
 	Exhausted bool
 	Timings   Timings

@@ -5,7 +5,6 @@ import (
 	"sort"
 	"time"
 
-	"visclean/internal/benefit"
 	"visclean/internal/em"
 	"visclean/internal/vis"
 )
@@ -16,7 +15,7 @@ import (
 // beneficial first. m is the number of questions a k-vertex CQG would
 // carry (k−1 edges plus one vertex repair ≈ k), keeping the unit cost
 // comparable per the paper's fairness argument.
-func (s *Session) runSingleIteration(ctx context.Context, user User, qs questionSet, before *vis.Data, rep *Report) error {
+func (s *Session) runSingleIteration(ctx context.Context, user User, qs questionSet, before []*vis.Data, rep *Report) error {
 	m := s.cfg.K
 	if m < 4 {
 		m = 4
@@ -24,16 +23,7 @@ func (s *Session) runSingleIteration(ctx context.Context, user User, qs question
 	perKind := m / 4
 
 	s.freezeShared()
-	est := &benefit.Estimator{
-		Dist:         s.cfg.Dist,
-		Base:         before,
-		Hypothetical: s.hypotheticalVis,
-	}
-	if !s.cfg.NoIncremental {
-		if p := s.newDeltaPricer(before); p != nil {
-			est.Pricer = p.price
-		}
-	}
+	est := s.newEstimator(before, 1)
 
 	type scoredQ struct {
 		kind    int // 0=T 1=A 2=M 3=O

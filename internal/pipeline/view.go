@@ -134,14 +134,47 @@ func resolve(vals []dataset.Value, kind dataset.Kind) dataset.Value {
 	return dataset.Num((nums[mid-1] + nums[mid]) / 2)
 }
 
-// CurrentVis computes the visualization over the current cleaned view
-// (framework step 7).
+// CurrentVis computes the primary view's visualization over the current
+// cleaned view (framework step 7).
 func (s *Session) CurrentVis() (*vis.Data, error) {
-	if v := s.pristineVis(); v != nil {
-		return v, nil
+	return s.CurrentVisView(0)
+}
+
+// CurrentVisView computes view v's visualization over the current
+// cleaned view.
+func (s *Session) CurrentVisView(v int) (*vis.Data, error) {
+	if d := s.pristineVisView(v); d != nil {
+		return d, nil
 	}
 	view := s.buildView(s.clusters, s.std, nil)
-	return s.query.Execute(view)
+	return s.queries[v].Execute(view)
+}
+
+// CurrentVisAll computes every registered view's chart, in registration
+// order, over one shared cleaned-relation build.
+func (s *Session) CurrentVisAll() ([]*vis.Data, error) {
+	out := make([]*vis.Data, len(s.queries))
+	if s.pristine() {
+		served := true
+		for v := range s.queries {
+			if out[v] = s.pristineVisView(v); out[v] == nil {
+				served = false
+				break
+			}
+		}
+		if served {
+			return out, nil
+		}
+	}
+	view := s.buildView(s.clusters, s.std, nil)
+	for v, q := range s.queries {
+		d, err := q.Execute(view)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = d
+	}
+	return out, nil
 }
 
 // CleanedView materializes the current cleaned relation: entity clusters
@@ -164,41 +197,73 @@ func (s *Session) CleanedView() *dataset.Table {
 // clones / view tables per call. Hypothetical repairs substitute cell
 // values through overrides instead of writing to the shared table.
 func (s *Session) hypotheticalVis(h benefit.Hypothesis) *vis.Data {
+	cl, std, ov, ok := s.hypotheticalState(h)
+	if !ok {
+		return nil
+	}
+	return s.execView(cl, std, ov)
+}
+
+// hypotheticalState derives the cleaned-relation inputs — clusters,
+// standardizers, cell overlay — that one hypothetical answer implies.
+// ok=false means the hypothesis is inapplicable (e.g. a vanished
+// tuple). Shared by the single-view and multi-view hypothetical chart
+// builders, so both price against the identical relation.
+func (s *Session) hypotheticalState(h benefit.Hypothesis) (cl *em.Clusters, std map[string]*goldenrec.Standardizer, ov *dataset.Overlay, ok bool) {
 	switch h.Kind {
 	case benefit.TConfirm:
-		cl := s.buildClusters([]em.Pair{h.Pair}, nil)
+		cl = s.buildClusters([]em.Pair{h.Pair}, nil)
 		// Confirming tuples also equates their A-column values (§VI
 		// label-edge semantics), so standardize them hypothetically.
-		std := s.std
+		std = s.std
 		if override := s.tPairStandardizers(h.Pair); override != nil {
 			std = override
 		}
-		return s.execView(cl, std, nil)
+		return cl, std, nil, true
 	case benefit.TSplit:
-		cl := s.buildClusters(nil, []em.Pair{h.Pair})
-		return s.execView(cl, s.std, nil)
+		return s.buildClusters(nil, []em.Pair{h.Pair}), s.std, nil, true
 	case benefit.AApprove:
 		st := s.std[h.Column]
 		if st == nil {
-			return nil
+			return nil, nil, nil, false
 		}
 		override := cloneStdMap(s.std)
 		clone := st.Clone()
 		clone.Approve(h.V1, h.V2)
 		override[h.Column] = clone
-		return s.execView(s.clusters, override, nil)
+		return s.clusters, override, nil, true
 	case benefit.MImpute, benefit.ORepair:
 		// Overlay.Set enforces both the id's existence and the numeric
 		// kind of the measure column — the checks the old
 		// write-then-restore path got for free from Table.Set.
-		ov := s.table.Overlay()
+		ov = s.table.Overlay()
 		if ov.Set(h.ID, s.yCol, dataset.Num(h.Value)) != nil {
-			return nil
+			return nil, nil, nil, false
 		}
-		return s.execView(s.clusters, s.std, ov)
+		return s.clusters, s.std, ov, true
 	default:
+		return nil, nil, nil, false
+	}
+}
+
+// hypotheticalVisAll derives every view's chart under one hypothetical
+// answer, sharing a single cleaned-relation build across the views. A
+// nil return means the hypothesis is inapplicable; a nil element means
+// that one view's query failed over the hypothetical relation (its term
+// prices as zero). Same concurrency contract as hypotheticalVis.
+func (s *Session) hypotheticalVisAll(h benefit.Hypothesis) []*vis.Data {
+	cl, std, ov, ok := s.hypotheticalState(h)
+	if !ok {
 		return nil
 	}
+	view := s.buildView(cl, std, ov)
+	out := make([]*vis.Data, len(s.queries))
+	for v, q := range s.queries {
+		if d, err := q.Execute(view); err == nil {
+			out[v] = d
+		}
+	}
+	return out
 }
 
 // freezeShared precomputes every lazy structure the hypothetical-vis

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -37,7 +38,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if got.Version != SnapshotVersion {
 		t.Fatalf("version = %d, want %d", got.Version, SnapshotVersion)
 	}
-	if got.ID != snap.ID || got.Spec != snap.Spec {
+	if got.ID != snap.ID || !reflect.DeepEqual(got.Spec, snap.Spec) {
 		t.Fatalf("round trip mangled identity: %+v", got)
 	}
 	if got.History.NumAnswers() != 3 || len(got.History.Iterations) != 1 || len(got.History.Partial) != 1 {

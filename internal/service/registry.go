@@ -14,6 +14,7 @@ import (
 	"visclean/internal/artifact"
 	"visclean/internal/fault"
 	"visclean/internal/pipeline"
+	"visclean/internal/vql"
 )
 
 // Registry is the multi-tenant session manager: it owns every live
@@ -430,6 +431,68 @@ func (r *Registry) iterate(id, tag string) error {
 		return ErrOverloaded
 	}
 	return nil
+}
+
+// AddView registers an additional VQL view on a live session and
+// returns its index. The view lands in the session's answer log
+// (pipeline.AnswerKindV), so the next snapshot persists it and replay
+// restores it in order. It fails with ErrIterationRunning while an
+// iteration is in flight — view registration mutates pipeline state and
+// must not interleave with one.
+func (r *Registry) AddView(id, query string) (int, error) {
+	s, err := r.get(id)
+	if err != nil {
+		return 0, err
+	}
+	q, err := vql.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	// Claim the pipeline exactly like an iteration does (running flag
+	// plus a done channel for teardown to wait on): between here and the
+	// close(done) below this goroutine is the pipeline's sole owner.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if s.running {
+		s.mu.Unlock()
+		return 0, ErrIterationRunning
+	}
+	s.running = true
+	s.iterDone = make(chan struct{})
+	s.lastActive = time.Now()
+	s.mu.Unlock()
+
+	v, verr := s.ps.AddView(q)
+	if verr == nil {
+		// Persist before declaring the registration done, unless a
+		// teardown closed the session meanwhile (same rationale as
+		// runIteration's closed check).
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if !closed {
+			s.refreshCache()
+			_ = r.persistSession(s)
+		}
+	}
+
+	s.mu.Lock()
+	s.running = false
+	s.lastActive = time.Now()
+	done := s.iterDone
+	s.iterDone = nil
+	s.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
+	if verr != nil {
+		return 0, verr
+	}
+	r.cfg.Logf("service: session %s view %d added (%s)", id, v, query)
+	return v, nil
 }
 
 // Answer resolves the session's pending question. A nil return is the

@@ -67,8 +67,13 @@ type Spec struct {
 	Scale float64 `json:"scale"`
 	// Seed drives every stochastic component of the session.
 	Seed int64 `json:"seed"`
-	// Query is the VQL visualization query.
+	// Query is the VQL visualization query (view 0).
 	Query string `json:"query"`
+	// Queries are additional VQL views registered at creation, beyond
+	// Query. Views added later via AddView live in the answer log, not
+	// here: the spec only describes construction, and replay restores
+	// mid-session views on its own (pipeline.AnswerKindV).
+	Queries []string `json:"queries,omitempty"`
 	// K is the CQG size.
 	K int `json:"k"`
 	// Selector names the CQG selection algorithm (gss, gss+, bb, abb,
@@ -176,6 +181,13 @@ func buildSession(spec Spec, cache *artifact.Cache) (*pipeline.Session, pipeline
 		return nil, nil, err
 	}
 	pcfg := pipeline.Config{K: spec.K, Seed: spec.Seed, Selector: sel, Artifacts: cache}
+	for _, src := range spec.Queries {
+		vq, err := vql.Parse(src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("view query %q: %w", src, err)
+		}
+		pcfg.Queries = append(pcfg.Queries, vq)
+	}
 	if tv, err := q.Execute(d.Truth.Clean); err == nil {
 		pcfg.TruthVis = tv
 	}

@@ -37,13 +37,18 @@ type Session struct {
 	ps       *pipeline.Session
 	autoUser pipeline.User
 
-	running    bool
-	closed     bool
-	pending    *Question
-	nextQID    int
-	iterCount  int
-	vis        *vis.Data
-	dist       float64
+	running   bool
+	closed    bool
+	pending   *Question
+	nextQID   int
+	iterCount int
+	vis       *vis.Data
+	// viewVis/viewQueries cache every registered view's chart and VQL
+	// text in registration order; viewVis[0] == vis. Multi-view sessions
+	// (DESIGN.md §13) poll all panels through one State call.
+	viewVis     []*vis.Data
+	viewQueries []string
+	dist        float64
 	lastRep    *pipeline.Report
 	cqg        *CQGView
 	errMsg     string
@@ -109,6 +114,10 @@ type State struct {
 	Report      *pipeline.Report
 	Err         string
 	Vis         *vis.Data
+	// ViewVis/ViewQueries carry every registered view's chart and VQL
+	// text in registration order; ViewVis[0] is the same chart as Vis.
+	ViewVis     []*vis.Data
+	ViewQueries []string
 	DistToTruth float64
 	LastActive  time.Time
 }
@@ -131,6 +140,8 @@ func (s *Session) State() State {
 		CQG:         s.cqg,
 		Err:         s.errMsg,
 		Vis:         s.vis,
+		ViewVis:     s.viewVis,
+		ViewQueries: s.viewQueries,
 		DistToTruth: s.dist,
 		LastActive:  s.lastActive,
 	}
@@ -149,13 +160,19 @@ func (s *Session) State() State {
 // the pipeline. Callers must hold exclusive ownership of the pipeline
 // (worker at iteration end, registry at create/restore).
 func (s *Session) refreshCache() {
-	v, err := s.ps.CurrentVis()
+	all, err := s.ps.CurrentVisAll()
 	d, derr := s.ps.DistToTruth()
 	iter := s.ps.Iteration()
+	queries := make([]string, 0, s.ps.NumViews())
+	for _, q := range s.ps.ViewQueries() {
+		queries = append(queries, q.String())
+	}
 	s.mu.Lock()
 	if err == nil {
-		s.vis = v
+		s.viewVis = all
+		s.vis = all[0]
 	}
+	s.viewQueries = queries
 	if derr == nil {
 		s.dist = d
 	}

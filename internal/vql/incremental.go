@@ -84,6 +84,13 @@ type Incremental struct {
 	bins     map[int64]*keyState  // TransformBin
 	keyOrder []*keyState          // appearance order (group) / bin order (bin)
 	labelOf  map[*keyState]string // group label per state
+
+	// basePts is the sorted+limited base chart, computed once at
+	// construction through the general Eval path. The empty-delta fast
+	// path (Base, and every hypothesis-decline fallback) copies it
+	// instead of re-walking keyOrder and re-folding groups.
+	basePts  []vis.Point
+	baseDone bool
 }
 
 // NewIncremental validates the query against the schema and registers
@@ -152,6 +159,11 @@ func (q *Query) NewIncremental(schema dataset.Schema, rows []IncRow) (*Increment
 			st.fold(q.Agg)
 		}
 	}
+	// Materialize the base chart through the general path (baseDone is
+	// still false here, so Eval takes the full walk), then arm the
+	// empty-delta shortcut.
+	inc.basePts = inc.Eval(nil, nil).Points
+	inc.baseDone = true
 	return inc, nil
 }
 
@@ -204,6 +216,17 @@ func (inc *Incremental) contribution(r IncRow) contrib {
 // The result is bit-identical to Execute over the equivalent view.
 func (inc *Incremental) Eval(removed []int64, added []IncRow) *vis.Data {
 	data := &vis.Data{Type: inc.q.Chart, XField: inc.q.X, YField: inc.q.Y}
+
+	// Empty delta: the answer is the precomputed base chart. Copying the
+	// point slice keeps the result as independent as the general path's
+	// (callers may mutate it) while skipping the dirty/folded/live maps
+	// and the keyOrder walk entirely.
+	if len(removed) == 0 && len(added) == 0 && inc.baseDone {
+		if len(inc.basePts) > 0 {
+			data.Points = append([]vis.Point(nil), inc.basePts...)
+		}
+		return data
+	}
 
 	switch inc.q.Transform {
 	case TransformNone:

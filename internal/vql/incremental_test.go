@@ -154,6 +154,99 @@ func TestIncrementalBaseMatchesExecute(t *testing.T) {
 	}
 }
 
+// TestIncrementalBaseFastPath pins the empty-delta shortcut's
+// bit-identity against the general path. Eval with an unknown removed
+// rank takes the allocating walk but produces the same chart (no group
+// is dirtied), so the two paths can be compared point for point.
+func TestIncrementalBaseFastPath(t *testing.T) {
+	for _, src := range incQueries {
+		q := MustParse(src)
+		inc, err := q.NewIncremental(incSchema, incBase())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := inc.Base()
+		slow := inc.Eval([]int64{-999}, nil) // unknown rank: no-op delta, general path
+		assertSameData(t, src, fast, slow)
+
+		// The fast path must hand out an independent copy: mutating one
+		// result must not leak into the next.
+		if len(fast.Points) > 0 {
+			fast.Points[0].Y += 1e6
+			again := inc.Base()
+			assertSameData(t, src+" after mutation", again, slow)
+		}
+	}
+}
+
+// TestIncrementalBaseAllocs pins the empty-delta shortcut's allocation
+// budget: one vis.Data plus one point-slice copy. The general path
+// allocates the dirty/folded maps and the live slice every call; this
+// test is what keeps the Base() hot path from quietly regressing to it.
+func TestIncrementalBaseAllocs(t *testing.T) {
+	q := MustParse(incQueries[0])
+	inc, err := q.NewIncremental(incSchema, incBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if inc.Eval(nil, nil) == nil {
+			t.Fatal("nil chart")
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Eval(nil, nil) allocates %.0f objects per call, want ≤ 2", allocs)
+	}
+}
+
+// TestIncrementalLimitTopKChurn targets the Limit+sortPoints seam the
+// multi-view pricer leans on: deltas that push a dirty group out of the
+// top-K, pull one in from below the cut, or reshuffle a tie exactly at
+// the boundary. Every case is checked bit-identical against Execute
+// over the equivalent table.
+func TestIncrementalLimitTopKChurn(t *testing.T) {
+	num := dataset.Num
+	// Base sums (SUM Citations, DESC): SIGMOD=174, ICDE=57, VLDB=55, KDD=7.
+	deltas := []struct {
+		name    string
+		removed []int64
+		added   []IncRow
+	}{
+		// The leader shrinks to last place and drops below the cut.
+		{name: "leader-drops-out", removed: []int64{0}, added: []IncRow{incRow(0, "SIGMOD", num(2013), num(1))}},
+		// A below-cut group is boosted past the boundary and enters.
+		{name: "tail-enters", added: []IncRow{incRow(13, "KDD", num(2016), num(500))}},
+		// Both at once: the displaced and the promoted swap slots.
+		{name: "swap-across-boundary", removed: []int64{2, 9}, added: []IncRow{
+			incRow(2, "ICDE", num(2013), num(1)),
+			incRow(13, "KDD", num(2016), num(400)),
+		}},
+		// A dirty group lands exactly on a boundary tie (VLDB 55 → 57 =
+		// ICDE): ordering must match Execute's tiebreak, not map order.
+		{name: "tie-at-boundary", added: []IncRow{incRow(14, "VLDB", num(2016), num(2))}},
+		// A new group is born directly inside the top-K.
+		{name: "new-group-enters", added: []IncRow{incRow(3, "CIDR", num(2013), num(999))}},
+		// The boundary group is emptied outright; the next one moves up.
+		{name: "boundary-group-vanishes", removed: []int64{2, 9}},
+	}
+	for _, limit := range []int{1, 2, 3} {
+		src := fmt.Sprintf(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D TRANSFORM GROUP BY Venue SORT Y BY DESC LIMIT %d`, limit)
+		q := MustParse(src)
+		for _, d := range deltas {
+			t.Run(fmt.Sprintf("limit%d/%s", limit, d.name), func(t *testing.T) {
+				checkDelta(t, q, incBase(), d.removed, d.added)
+			})
+		}
+	}
+	// Ascending sort flips which end of the order the cut falls on.
+	for _, d := range deltas {
+		q := MustParse(`VISUALIZE bar SELECT Venue, SUM(Citations) FROM D TRANSFORM GROUP BY Venue SORT Y BY ASC LIMIT 2`)
+		t.Run("asc-limit2/"+d.name, func(t *testing.T) {
+			checkDelta(t, q, incBase(), d.removed, d.added)
+		})
+	}
+}
+
 // TestIncrementalRejectsUnsortedRanks guards the registration contract.
 func TestIncrementalRejectsUnsortedRanks(t *testing.T) {
 	q := MustParse(incQueries[0])

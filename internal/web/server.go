@@ -82,6 +82,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/session", s.handleCreate)
 	mux.HandleFunc("GET /api/sessions", s.handleList)
 	mux.HandleFunc("GET /api/session/{id}/state", s.handleState)
+	mux.HandleFunc("POST /api/session/{id}/view", s.handleAddView)
+	mux.HandleFunc("GET /api/session/{id}/view/{v}/chart", s.handleViewChart)
 	mux.HandleFunc("POST /api/session/{id}/iterate", s.handleIterate)
 	mux.HandleFunc("POST /api/session/{id}/answer", s.handleAnswer)
 	mux.HandleFunc("POST /api/session/{id}/export", s.handleExport)
@@ -174,14 +176,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var body struct {
-		ID       string  `json:"id"`
-		Dataset  string  `json:"dataset"`
-		Scale    float64 `json:"scale"`
-		Seed     int64   `json:"seed"`
-		Query    string  `json:"query"`
-		K        int     `json:"k"`
-		Selector string  `json:"selector"`
-		Auto     *bool   `json:"auto"`
+		ID       string   `json:"id"`
+		Dataset  string   `json:"dataset"`
+		Scale    float64  `json:"scale"`
+		Seed     int64    `json:"seed"`
+		Query    string   `json:"query"`
+		Queries  []string `json:"queries"`
+		K        int      `json:"k"`
+		Selector string   `json:"selector"`
+		Auto     *bool    `json:"auto"`
 	}
 	if data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -205,6 +208,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if body.Query != "" {
 		spec.Query = body.Query
+	}
+	if len(body.Queries) > 0 {
+		spec.Queries = body.Queries
 	}
 	if body.K != 0 {
 		spec.K = body.K
@@ -234,16 +240,25 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 type stateResponse struct {
-	ID        string            `json:"id"`
-	Query     string            `json:"query"`
-	Iteration int               `json:"iteration"`
-	Running   bool              `json:"running"`
-	Chart     chartJSON         `json:"chart"`
-	Truth     float64           `json:"distToTruth"`
-	Question  *service.Question `json:"question,omitempty"`
-	CQG       *service.CQGView  `json:"cqg,omitempty"`
-	Report    *repJSON          `json:"lastReport,omitempty"`
-	Error     string            `json:"error,omitempty"`
+	ID        string    `json:"id"`
+	Query     string    `json:"query"`
+	Iteration int       `json:"iteration"`
+	Running   bool      `json:"running"`
+	Chart     chartJSON `json:"chart"`
+	// Views carries every registered view's query and chart in
+	// registration order; views[0] duplicates query/chart above (kept for
+	// single-view clients).
+	Views    []viewJSON        `json:"views,omitempty"`
+	Truth    float64           `json:"distToTruth"`
+	Question *service.Question `json:"question,omitempty"`
+	CQG      *service.CQGView  `json:"cqg,omitempty"`
+	Report   *repJSON          `json:"lastReport,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+type viewJSON struct {
+	Query string    `json:"query"`
+	Chart chartJSON `json:"chart"`
 }
 
 type chartJSON struct {
@@ -277,6 +292,13 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	if st.Vis != nil {
 		resp.Chart = toChartJSON(st.Vis)
 	}
+	for i, v := range st.ViewVis {
+		vj := viewJSON{Chart: toChartJSON(v)}
+		if i < len(st.ViewQueries) {
+			vj.Query = st.ViewQueries[i]
+		}
+		resp.Views = append(resp.Views, vj)
+	}
 	if st.Report != nil {
 		resp.Report = &repJSON{
 			Questions: st.Report.Questions(),
@@ -285,6 +307,48 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAddView registers an additional VQL view on a live session
+// (body: {"query": "VISUALIZE ..."}). The view is logged into the
+// session's answer history, so snapshots and replay restore it.
+func (s *Server) handleAddView(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Query string `json:"query"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if body.Query == "" {
+		http.Error(w, "missing query", http.StatusBadRequest)
+		return
+	}
+	v, err := s.reg.AddView(r.PathValue("id"), body.Query)
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"view": v})
+}
+
+// handleViewChart serves one view's current chart by view index.
+func (s *Server) handleViewChart(w http.ResponseWriter, r *http.Request) {
+	st, err := s.reg.State(r.PathValue("id"))
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	v, err := strconv.Atoi(r.PathValue("v"))
+	if err != nil || v < 0 || v >= len(st.ViewVis) {
+		http.Error(w, "no such view", http.StatusNotFound)
+		return
+	}
+	vj := viewJSON{Chart: toChartJSON(st.ViewVis[v])}
+	if v < len(st.ViewQueries) {
+		vj.Query = st.ViewQueries[v]
+	}
+	writeJSON(w, http.StatusOK, vj)
 }
 
 func (s *Server) handleIterate(w http.ResponseWriter, r *http.Request) {
